@@ -1,0 +1,25 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the
+paper through pytest-benchmark.  A session-scoped
+:class:`~repro.harness.experiment.ExperimentRunner` caches every
+platform measurement, so figures that share runs (Figures 4/5/6 and
+Table III in particular) do not repeat them.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(verbose=False)
+
+
+def emit(output):
+    """Print an experiment output under a visible banner."""
+    print()
+    print("=" * 72)
+    print(output.text)
+    print("=" * 72)

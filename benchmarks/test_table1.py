@@ -1,0 +1,18 @@
+"""Regenerate Table I: space-to-socket mapping."""
+
+from repro.experiments import table1
+
+from conftest import emit
+
+
+def test_table1(benchmark, runner):
+    output = benchmark.pedantic(table1.run, args=(runner,),
+                                iterations=1, rounds=1)
+    emit(output)
+    kgn = output.data["KG-N"]
+    kgw = output.data["KG-W"]
+    kgw_mdo = output.data["KG-W-MDO"]
+    # Table I's defining rows.
+    assert kgn["nursery_dram"] and not kgn["observer"]
+    assert kgw["observer"] and kgw["dram_mature"] and kgw["mdo"]
+    assert kgw_mdo["observer"] and not kgw_mdo["mdo"]

@@ -1,0 +1,24 @@
+"""Extension bench: measured wear-levelling efficiency (beyond the paper).
+
+Asserts the qualitative story: raw PCM wear is imbalanced, Start-Gap
+levelling recovers a meaningful fraction of the ideal endurance, and
+KG-W's reduced write rate still dominates the lifetime improvement.
+"""
+
+from repro.experiments import wear_analysis
+
+from conftest import emit
+
+
+def test_wear_analysis(benchmark, runner):
+    output = benchmark.pedantic(wear_analysis.run, args=(runner,),
+                                iterations=1, rounds=1)
+    emit(output)
+    data = output.data
+    # Raw wear is never perfectly level.
+    assert all(entry["imbalance"] >= 1.0 for entry in data.values())
+    # Start-Gap recovers a usable efficiency for the write-heavy runs.
+    assert data["pr/PCM-Only"]["efficiency"] > 0.3
+    # KG-W still wins on lifetime even with measured efficiency.
+    assert (data["pr/KG-W"]["lifetime_measured"]
+            > data["pr/PCM-Only"]["lifetime_measured"])

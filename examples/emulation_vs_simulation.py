@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validating emulation against simulation (the paper's Section V).
+
+Good methodology cross-checks its instruments: the paper compares the
+NUMA emulation platform against the Sniper simulator on the same
+benchmarks and shows they agree on collector trends.  This example
+runs both measurement modes side by side for a few benchmarks and
+prints the per-mode PCM-write reductions — the sanity check to run
+whenever the platform or a collector changes.
+
+Usage::
+
+    python examples/emulation_vs_simulation.py [benchmark ...]
+"""
+
+import sys
+
+from repro import EmulationMode, HybridMemoryPlatform, benchmark_factory
+from repro.harness.metrics import percent_reduction
+from repro.harness.tables import format_table
+
+DEFAULT_BENCHMARKS = ("lusearch", "xalan", "bloat")
+COLLECTORS = ("KG-N", "KG-W")
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or list(DEFAULT_BENCHMARKS)
+    platforms = {
+        "emulation": HybridMemoryPlatform(EmulationMode.EMULATION),
+        "simulation": HybridMemoryPlatform(EmulationMode.SIMULATION),
+    }
+    rows = []
+    for benchmark in benchmarks:
+        factory = benchmark_factory(benchmark)
+        row = [benchmark]
+        for collector in COLLECTORS:
+            for mode, platform in platforms.items():
+                baseline = platform.run(factory, collector="PCM-Only")
+                result = platform.run(factory, collector=collector)
+                reduction = percent_reduction(
+                    max(1, baseline.pcm_write_lines),
+                    result.pcm_write_lines)
+                row.append(f"{reduction:.0f}%")
+        rows.append(row)
+    headers = ["Benchmark"]
+    for collector in COLLECTORS:
+        headers += [f"{collector} emu", f"{collector} sim"]
+    print(format_table(
+        headers, rows,
+        title="PCM-write reduction vs PCM-Only, per measurement mode"))
+    print(
+        "\nThe two modes differ only in what the paper says they differ\n"
+        "in: emulation adds the write-rate monitor's Socket-0 activity\n"
+        "and OS scheduling jitter; simulation is noise-free and\n"
+        "deterministic.  Agreement within a few percentage points is\n"
+        "what Section V calls confirmation of the methodology.")
+
+
+if __name__ == "__main__":
+    main()

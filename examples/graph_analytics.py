@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Graph analytics on hybrid memory: Java vs C++ and collector choice.
+
+The scenario from the paper's Section VI-A/VI-E: you are deploying
+GraphChi-style graph analytics (PageRank, Connected Components, ALS)
+on a server with hybrid DRAM-PCM memory, and need to decide between
+the C++ and Java implementations and — for Java — which write-rationing
+collector configuration protects PCM best.
+
+Usage::
+
+    python examples/graph_analytics.py
+"""
+
+from repro import EmulationMode, HybridMemoryPlatform, benchmark_factory
+from repro.harness.tables import render_series
+
+COLLECTORS = ("PCM-Only", "KG-N", "KG-N+LOO", "KG-W")
+APPS = ("pr", "cc", "als")
+
+
+def main() -> None:
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+    rows = {}
+
+    print("Running the C++ implementations (malloc/free, PCM-Only)...")
+    cpp_writes = {}
+    for app in APPS:
+        result = platform.run(benchmark_factory(f"{app}.cpp"),
+                              collector="PCM-Only")
+        cpp_writes[app] = result.pcm_write_lines
+        print(f"  {app}.cpp: {result.pcm_write_lines} PCM lines, "
+              f"{result.pcm_write_rate_mbs:.0f} MB/s")
+
+    print("\nRunning the Java implementations across collectors...")
+    for collector in COLLECTORS:
+        rows[collector] = {}
+        for app in APPS:
+            result = platform.run(benchmark_factory(app),
+                                  collector=collector)
+            rows[collector][app.upper()] = (result.pcm_write_lines
+                                            / cpp_writes[app])
+
+    print()
+    print(render_series(
+        rows, title="Java PCM writes normalized to the C++ version"))
+    print(
+        "\nReading the table: on a PCM-Only system Java's allocation\n"
+        "volume, GC copying, and zero-initialisation cost ~2-3x the\n"
+        "writes of C++.  With hybrid memory the generational heap pays\n"
+        "off: the nursery (KG-N) captures fresh-allocation writes in\n"
+        "DRAM, the Large Object Optimization (+LOO) keeps short-lived\n"
+        "window buffers out of PCM, and Kingsguard-writers (KG-W)\n"
+        "finishes below the C++ write level — manual memory management\n"
+        "cannot segregate written objects at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""PCM lifetime planning: will the device outlive its warranty?
+
+Combines measured PCM write rates with the paper's lifetime model
+(Equation 1) to answer a capacity-planning question: for a given
+workload mix and PCM endurance class, how many years will a 32 GB PCM
+main memory last, and does write-rationing GC change the answer?
+
+Usage::
+
+    python examples/lifetime_planning.py
+"""
+
+from repro import HybridMemoryPlatform, benchmark_factory
+from repro.core.lifetime import PCM_ENDURANCE_LEVELS, pcm_lifetime_years
+from repro.harness.tables import format_table
+
+WORKLOADS = ("fop", "lusearch", "pjbb", "pr")
+
+
+def main() -> None:
+    platform = HybridMemoryPlatform()
+    rates = {}
+    for collector in ("PCM-Only", "KG-W"):
+        for name in WORKLOADS:
+            result = platform.run(benchmark_factory(name),
+                                  collector=collector)
+            rates[(collector, name)] = result.pcm_write_rate_mbs
+
+    rows = []
+    for name in WORKLOADS:
+        row = [name]
+        for collector in ("PCM-Only", "KG-W"):
+            rate = rates[(collector, name)]
+            years = pcm_lifetime_years(rate, 10e6)
+            row += [f"{rate:.0f}", f"{years:.0f}y"]
+        rows.append(row)
+    print(format_table(
+        ["Workload", "PCM-Only MB/s", "lifetime", "KG-W MB/s", "lifetime"],
+        rows,
+        title="Lifetime at 10M writes/cell, 32 GB PCM, 50% wear-levelling"))
+
+    worst = max(rates[("PCM-Only", name)] for name in WORKLOADS)
+    worst_kgw = max(rates[("KG-W", name)] for name in WORKLOADS)
+    print("\nWorst-case planning across the mix:")
+    endurance_rows = []
+    for label, endurance in PCM_ENDURANCE_LEVELS.items():
+        endurance_rows.append([
+            label,
+            f"{pcm_lifetime_years(worst, endurance):.0f}y",
+            f"{pcm_lifetime_years(worst_kgw, endurance):.0f}y",
+        ])
+    print(format_table(["Endurance class", "PCM-Only", "KG-W"],
+                       endurance_rows))
+    print(
+        "\nRule of thumb from the paper: single-program workloads are\n"
+        "survivable even PCM-Only, but consolidation wears PCM out in a\n"
+        "couple of years at 10M writes/cell — write-rationing GC buys\n"
+        "back a 3x margin, comparable to moving up an endurance class.")
+
+
+if __name__ == "__main__":
+    main()

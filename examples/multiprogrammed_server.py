@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Multiprogrammed server consolidation on hybrid memory.
+
+The paper's Section VI-B scenario: a server consolidates several
+application instances on one socket; their combined footprint thrashes
+the shared last-level cache and PCM writes grow *super-linearly*.
+This example measures the growth for a DaCapo workload with and
+without write-rationing GC, and shows the per-space breakdown that
+explains it (nursery writes blow up; mature writes grow mildly).
+
+Usage::
+
+    python examples/multiprogrammed_server.py [benchmark]
+"""
+
+import sys
+
+from repro import EmulationMode, HybridMemoryPlatform, benchmark_factory
+from repro.harness.tables import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "lusearch"
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+    factory = benchmark_factory(benchmark)
+
+    rows = []
+    breakdowns = {}
+    for collector in ("PCM-Only", "KG-W"):
+        base = None
+        for instances in (1, 2, 4):
+            result = platform.run(factory, collector=collector,
+                                  instances=instances)
+            if base is None:
+                base = result.pcm_write_lines
+            rows.append([
+                collector, instances, result.pcm_write_lines,
+                f"{result.pcm_write_lines / base:.2f}x",
+                f"{result.pcm_write_rate_mbs:.0f}",
+            ])
+            if collector == "PCM-Only":
+                breakdowns[instances] = dict(result.per_tag_pcm_writes)
+
+    print(format_table(
+        ["Collector", "Instances", "PCM writes", "vs 1 instance", "MB/s"],
+        rows, title=f"{benchmark}: multiprogrammed PCM writes"))
+
+    print("\nPCM-Only per-space write breakdown (lines):")
+    spaces = sorted({space for b in breakdowns.values() for space in b})
+    breakdown_rows = []
+    for space in spaces:
+        breakdown_rows.append(
+            [space] + [breakdowns[n].get(space, 0) for n in (1, 2, 4)])
+    print(format_table(["Space", "N=1", "N=2", "N=4"], breakdown_rows))
+    print(
+        "\nThe nursery rows grow super-linearly: with four instances the\n"
+        "combined nurseries no longer fit the shared LLC, so writes that\n"
+        "a single instance would have absorbed spill to PCM.  KG-W binds\n"
+        "the nurseries (and written objects) to DRAM, taming the growth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: measure PCM writes for one benchmark on hybrid memory.
+
+Runs the ``lusearch`` benchmark on the emulated NUMA platform under
+three memory-management configurations and prints what the paper's
+platform would report: PCM/DRAM write counts, write rates, and GC
+activity.
+
+Usage::
+
+    python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import (
+    RECOMMENDED_WRITE_RATE_MBS,
+    EmulationMode,
+    HybridMemoryPlatform,
+    benchmark_factory,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "lusearch"
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+    factory = benchmark_factory(benchmark)
+
+    print(f"Benchmark: {benchmark} (emulated two-socket NUMA platform)")
+    print(f"Recommended max PCM write rate: "
+          f"{RECOMMENDED_WRITE_RATE_MBS:.0f} MB/s\n")
+
+    baseline = None
+    for collector in ("PCM-Only", "KG-N", "KG-W"):
+        result = platform.run(factory, collector=collector)
+        stats = result.instance_stats[0]
+        if baseline is None:
+            baseline = result.pcm_write_lines
+        reduction = 100.0 * (1 - result.pcm_write_lines / baseline)
+        flag = ("over the recommended rate!"
+                if result.pcm_write_rate_mbs > RECOMMENDED_WRITE_RATE_MBS
+                else "ok")
+        print(f"{collector:9s}  PCM writes: {result.pcm_write_lines:8d} "
+              f"lines ({reduction:+5.1f}% vs PCM-Only)")
+        print(f"{'':9s}  PCM write rate: "
+              f"{result.pcm_write_rate_mbs:7.1f} MB/s ({flag})")
+        print(f"{'':9s}  GC: {stats.minor_gcs} minor, "
+              f"{stats.full_gcs} full, "
+              f"{stats.observer_collections} observer collections\n")
+
+
+if __name__ == "__main__":
+    main()

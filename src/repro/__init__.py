@@ -1,0 +1,71 @@
+"""repro — hybrid DRAM-PCM memory emulation for managed languages.
+
+A faithful reproduction of Akram, Sartor, McKinley & Eeckhout,
+*"Emulating and Evaluating Hybrid Memory for Managed Languages on NUMA
+Hardware"* (ISPASS 2019), built entirely on simulated substrates: a
+two-socket NUMA machine with write-back caches, an OS kernel with
+``mmap``/``mbind``, a Jikes-RVM-style managed runtime with the
+write-rationing Kingsguard collectors, a C++-style manual runtime, and
+the DaCapo / Pjbb / GraphChi workloads.
+
+Quickstart::
+
+    from repro import HybridMemoryPlatform, benchmark_factory
+
+    platform = HybridMemoryPlatform()
+    result = platform.run(benchmark_factory("lusearch"), collector="KG-W")
+    print(result.describe())
+"""
+
+from repro.config import (
+    DEFAULT_LATENCY,
+    DEFAULT_SCALE_CONFIG,
+    LatencyModel,
+    RECOMMENDED_WRITE_RATE_MBS,
+    ScaleConfig,
+)
+from repro.core import (
+    ALL_COLLECTOR_NAMES,
+    CollectorConfig,
+    EmulationMode,
+    HybridMemoryPlatform,
+    MeasurementResult,
+    WriteRateMonitor,
+    collector_config,
+    create_collector,
+    pcm_lifetime_years,
+)
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BenchmarkApp,
+    SyntheticApp,
+    WorkloadProfile,
+    benchmark_factory,
+    benchmarks_in_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "ALL_COLLECTOR_NAMES",
+    "BenchmarkApp",
+    "CollectorConfig",
+    "DEFAULT_LATENCY",
+    "DEFAULT_SCALE_CONFIG",
+    "EmulationMode",
+    "HybridMemoryPlatform",
+    "LatencyModel",
+    "MeasurementResult",
+    "RECOMMENDED_WRITE_RATE_MBS",
+    "ScaleConfig",
+    "SyntheticApp",
+    "WorkloadProfile",
+    "WriteRateMonitor",
+    "benchmark_factory",
+    "benchmarks_in_suite",
+    "collector_config",
+    "create_collector",
+    "pcm_lifetime_years",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface: run benchmarks and reproduce experiments.
+
+::
+
+    python -m repro list
+    python -m repro run -b lusearch -c KG-W -n 4
+    python -m repro reproduce figure7
+    python -m repro reproduce all
+    python -m repro describe
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import DEFAULT_SCALE_CONFIG, RECOMMENDED_WRITE_RATE_MBS
+from repro.core.collectors import ALL_COLLECTOR_NAMES
+from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.workloads.registry import benchmark_factory, benchmarks_in_suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid DRAM-PCM memory emulation for managed "
+                    "languages (ISPASS 2019 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and collectors")
+    sub.add_parser("describe", help="show the emulated platform")
+
+    run = sub.add_parser("run", help="measure one configuration")
+    run.add_argument("-b", "--benchmark", default="lusearch")
+    run.add_argument("-c", "--collector", default="PCM-Only",
+                     choices=ALL_COLLECTOR_NAMES)
+    run.add_argument("-n", "--instances", type=int, default=1)
+    run.add_argument("--dataset", default="default",
+                     choices=["default", "large"])
+    run.add_argument("--mode", default="emulation",
+                     choices=["emulation", "simulation"])
+    run.add_argument("--track-wear", action="store_true",
+                     help="measure per-line PCM wear and Start-Gap "
+                          "levelling efficiency")
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate a table/figure (or 'all')")
+    reproduce.add_argument("experiment",
+                           help="table1, table2, figure3..figure8, "
+                                "table3, wear_analysis, or 'all'")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Benchmarks:")
+    for suite in ("dacapo", "pjbb", "graphchi", "graphchi-cpp"):
+        names = ", ".join(benchmarks_in_suite(suite))
+        print(f"  {suite:13s} {names}")
+    print("\nCollectors:")
+    print("  " + ", ".join(ALL_COLLECTOR_NAMES))
+    return 0
+
+
+def _cmd_describe() -> int:
+    scale = DEFAULT_SCALE_CONFIG
+    print("Emulated platform (paper values scaled by "
+          f"1/{scale.scale}):")
+    print(f"  2 sockets x 8 cores x 2 HT; "
+          f"LLC {scale.llc_size // 1024} KB/socket; "
+          f"L2 {scale.l2_size // 1024} KB/core")
+    print(f"  default nursery {scale.nursery_default // 1024} KB; "
+          f"chunk {scale.chunk_size // 1024} KB; "
+          f"node memory {scale.socket_dram // (1024 * 1024)} MB")
+    print(f"  Socket 0 = DRAM, Socket 1 = PCM; recommended PCM write "
+          f"rate {RECOMMENDED_WRITE_RATE_MBS:.0f} MB/s")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mode = (EmulationMode.EMULATION if args.mode == "emulation"
+            else EmulationMode.SIMULATION)
+    platform = HybridMemoryPlatform(mode=mode, track_wear=args.track_wear)
+    factory = benchmark_factory(args.benchmark)
+
+    def make_app(index: int):
+        return factory(index, dataset=args.dataset)
+
+    result = platform.run(make_app, collector=args.collector,
+                          instances=args.instances)
+    print(result.describe())
+    for tag, lines in sorted(result.per_tag_pcm_writes.items()):
+        print(f"  PCM writes from {tag:14s} {lines:8d} lines")
+    stats = result.instance_stats[0]
+    print(f"  GC: {stats.minor_gcs} minor / {stats.full_gcs} full / "
+          f"{stats.observer_collections} observer; "
+          f"{stats.bytes_allocated} B allocated")
+    if result.wear_efficiency is not None:
+        print(f"  wear: imbalance {result.wear_imbalance:.1f}x, "
+              f"Start-Gap efficiency {result.wear_efficiency:.2f}")
+    return 0
+
+
+def _cmd_reproduce(name: str) -> int:
+    import importlib
+
+    from repro.experiments import EXPERIMENTS, run_all
+
+    if name == "all":
+        run_all(verbose=True)
+        return 0
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; choose from "
+              f"{EXPERIMENTS} or 'all'", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{name}")
+    print(module.run(None).text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args.experiment)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

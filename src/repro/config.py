@@ -1,0 +1,148 @@
+"""Global configuration: units, scaling, and simulation constants.
+
+The paper's platform uses megabyte-scale nurseries and a 20 MB LLC.  A
+Python cache-line simulator cannot push hundreds of gigabytes of traffic,
+so every capacity in the reproduction is scaled down by a single factor
+(:data:`DEFAULT_SCALE`, 1/64 by default).  Crucially the *ratios* between
+nursery size, LLC size, heap size, and dataset size — the quantities that
+drive every result in the paper — are preserved.
+
+All sizes are in bytes unless a name says otherwise.  Cache lines and OS
+pages keep their real-world sizes (64 B and 4 KB): scaling those would
+distort spatial locality rather than just shrink the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Cache line size in bytes (unscaled; spatial-locality unit).
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+#: OS page size in bytes (unscaled; the mmap/mbind granularity).
+PAGE_SIZE = 4 * KB
+PAGE_SHIFT = 12
+
+#: Default down-scaling factor applied to every *capacity* in the paper.
+DEFAULT_SCALE = 64
+
+
+def scaled(paper_bytes: int, scale: int = DEFAULT_SCALE) -> int:
+    """Scale a paper-reported capacity down, keeping page alignment.
+
+    >>> scaled(4 * MB)  # the paper's 4 MB nursery
+    65536
+    """
+    value = paper_bytes // scale
+    if value < PAGE_SIZE:
+        return PAGE_SIZE
+    return (value // PAGE_SIZE) * PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Capacities of the emulation platform after scaling.
+
+    Defaults mirror Section IV of the paper divided by
+    :data:`DEFAULT_SCALE`:
+
+    * 4 MB nursery (DaCapo/Pjbb), 32 MB nursery (GraphChi)
+    * 12 MB / 96 MB KG-B nurseries
+    * 4 MB heap chunks
+    * 20 MB shared LLC per socket, 256 KB private L2 per core
+    """
+
+    scale: int = DEFAULT_SCALE
+
+    @property
+    def nursery_default(self) -> int:
+        return scaled(4 * MB, self.scale)
+
+    @property
+    def nursery_graphchi(self) -> int:
+        return scaled(32 * MB, self.scale)
+
+    @property
+    def nursery_big_default(self) -> int:
+        return scaled(12 * MB, self.scale)
+
+    @property
+    def nursery_big_graphchi(self) -> int:
+        return scaled(96 * MB, self.scale)
+
+    @property
+    def chunk_size(self) -> int:
+        return scaled(4 * MB, self.scale)
+
+    @property
+    def llc_size(self) -> int:
+        return scaled(20 * MB, self.scale)
+
+    @property
+    def l2_size(self) -> int:
+        return scaled(256 * KB, self.scale)
+
+    @property
+    def socket_dram(self) -> int:
+        """Physical memory per socket (paper: 66 GB; scaled to 4 GB
+        equivalent, which comfortably holds four 512 MB-equivalent
+        GraphChi heaps)."""
+        return scaled(4 * GB, self.scale)
+
+
+#: The shared default scale configuration.
+DEFAULT_SCALE_CONFIG = ScaleConfig()
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Simple per-access latency model, in CPU cycles.
+
+    Absolute values follow common Xeon-class figures; the QPI penalty
+    models the paper's remote-socket (emulated PCM) access cost.  The
+    model only needs to rank configurations and produce stable
+    compute-to-write ratios, not predict wall-clock time.
+    """
+
+    l1_hit: int = 4
+    l2_hit: int = 12
+    llc_hit: int = 30
+    local_dram: int = 200
+    remote_dram: int = 310  # local + QPI hop
+    op_base: int = 10  # non-memory work per mutator op
+    frequency_hz: int = 1_800_000_000  # E5-2650L base clock
+
+    def memory_latency(self, remote: bool) -> int:
+        return self.remote_dram if remote else self.local_dram
+
+    def seconds(self, cycles: int) -> float:
+        return cycles / self.frequency_hz
+
+
+DEFAULT_LATENCY = LatencyModel()
+
+#: Facebook/EuroSys'18-derived recommended maximum PCM write rate (MB/s),
+#: Section VI-D: 375 GB device, 30 drive-writes-per-day.
+RECOMMENDED_WRITE_RATE_MBS = 140.0
+
+
+@dataclass(frozen=True)
+class SimulationSeeds:
+    """Deterministic seeds for each stochastic component."""
+
+    workload: int = 0xDACA90
+    scheduler: int = 0x5C4ED
+    datasets: int = 0x9AF
+    monitor: int = 0x30A17
+
+    def derive(self, base: int, instance: int) -> int:
+        """Stable per-instance seed derivation."""
+        return (base * 1_000_003 + instance * 7919) & 0x7FFFFFFF
+
+
+DEFAULT_SEEDS = SimulationSeeds()

@@ -1,0 +1,46 @@
+"""The paper's contribution: the emulation platform and the
+write-rationing garbage collectors it evaluates.
+
+* :mod:`repro.core.collectors` — GenImmix and the seven Kingsguard
+  configurations (Section II-B, Table I).
+* :mod:`repro.core.platform` — the hybrid-memory emulation platform
+  (Section III): wires the NUMA machine, kernel, runtime, and monitor,
+  and implements both the *emulation* and the *simulation* measurement
+  modes compared in Section V.
+* :mod:`repro.core.monitor` — the write-rate monitor (the paper's
+  ``pcm-memory`` stand-in).
+* :mod:`repro.core.lifetime` — the PCM lifetime model (Equation 1).
+"""
+
+from repro.core.collectors import (
+    ALL_COLLECTOR_NAMES,
+    Collector,
+    CollectorConfig,
+    GenImmixCollector,
+    KingsguardCollector,
+    collector_config,
+    create_collector,
+)
+from repro.core.lifetime import PCM_ENDURANCE_LEVELS, pcm_lifetime_years
+from repro.core.monitor import WriteRateMonitor
+from repro.core.platform import (
+    EmulationMode,
+    HybridMemoryPlatform,
+    MeasurementResult,
+)
+
+__all__ = [
+    "ALL_COLLECTOR_NAMES",
+    "Collector",
+    "CollectorConfig",
+    "EmulationMode",
+    "GenImmixCollector",
+    "HybridMemoryPlatform",
+    "KingsguardCollector",
+    "MeasurementResult",
+    "PCM_ENDURANCE_LEVELS",
+    "WriteRateMonitor",
+    "collector_config",
+    "create_collector",
+    "pcm_lifetime_years",
+]

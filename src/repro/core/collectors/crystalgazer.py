@@ -1,0 +1,95 @@
+"""Crystal Gazer: profile-driven write-rationing (extension).
+
+The paper's follow-up work (Akram et al., SIGMETRICS 2019, cited as
+[3]) replaces KG-W's *online* write monitoring with *offline,
+ahead-of-time profiling*: allocation sites are classified as
+write-intensive or read-mostly from a profiling run, and nursery
+survivors tenure straight to DRAM or PCM mature based on the
+prediction — no observer space, no per-store monitoring overhead.
+
+This module implements that design over the reproduction's runtime.
+The profile keys on an allocation context (size class, reference
+arity, largeness — the closest stand-in for allocation sites in a
+synthetic mutator) and trains during the warm-up iteration of the
+replay-compilation protocol, which plays the role of the offline
+profiling run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.core.collectors.kingsguard import KingsguardCollector
+from repro.runtime.objectmodel import Obj
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.jvm import JavaVM
+
+ContextKey = Tuple[int, int, bool]
+
+
+class WriteProfile:
+    """Per-allocation-context write statistics.
+
+    Maintained outside the simulated machine: Crystal Gazer's point is
+    that prediction costs nothing at run time.
+    """
+
+    def __init__(self, write_threshold: float = 0.5) -> None:
+        self.write_threshold = write_threshold
+        self.allocations: Dict[ContextKey, int] = {}
+        self.writes: Dict[ContextKey, int] = {}
+
+    # -- JavaVM profiler interface -------------------------------------
+    def context_key(self, scalar_bytes: int, num_refs: int,
+                    is_large: bool) -> ContextKey:
+        """Bucket an allocation into a context (site surrogate)."""
+        return (scalar_bytes // 32, min(num_refs, 8), is_large)
+
+    def note_allocation(self, obj: Obj) -> None:
+        key = obj.context
+        self.allocations[key] = self.allocations.get(key, 0) + 1
+
+    def note_write(self, obj: Obj) -> None:
+        key = obj.context
+        if key is not None:
+            self.writes[key] = self.writes.get(key, 0) + 1
+
+    # -- prediction ------------------------------------------------------
+    def writes_per_object(self, key: ContextKey) -> float:
+        allocated = self.allocations.get(key, 0)
+        if not allocated:
+            return 0.0
+        return self.writes.get(key, 0) / allocated
+
+    def predicts_written(self, obj: Obj) -> bool:
+        if obj.context is None:
+            return False
+        return self.writes_per_object(obj.context) >= self.write_threshold
+
+    def hot_contexts(self) -> int:
+        return sum(1 for key in self.allocations
+                   if self.writes_per_object(key) >= self.write_threshold)
+
+
+class CrystalGazerCollector(KingsguardCollector):
+    """Profile-driven Kingsguard: predicted writers tenure to DRAM.
+
+    Uses KG-W's space layout minus the observer: nursery survivors go
+    directly to DRAM mature when their allocation context's profiled
+    write intensity crosses the threshold, and to PCM mature otherwise.
+    Large-object migration and MDO work as in KG-W.
+    """
+
+    def __init__(self, config, write_threshold: float = 0.5) -> None:
+        super().__init__(config)
+        self.profile = WriteProfile(write_threshold)
+
+    def attach(self, vm: "JavaVM") -> None:
+        super().attach(vm)
+        vm.write_profiler = self.profile
+
+    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj):
+        if self.config.dram_mature and self.profile.predicts_written(obj):
+            return vm.heap.space("mature.dram")
+        return vm.heap.space("mature.pcm")

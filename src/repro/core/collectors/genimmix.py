@@ -1,0 +1,25 @@
+"""Generational Immix: the baseline collector.
+
+GenImmix (Blackburn & McKinley, PLDI 2008) combines a copying nursery
+with a mark-region mature space.  It is the best-performing collector in
+Jikes RVM and the base the Kingsguard collectors build on.  Bound
+entirely to the PCM socket it forms the paper's *PCM-Only* reference
+system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.collectors.base import Collector
+from repro.runtime.objectmodel import Obj
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.jvm import JavaVM
+
+
+class GenImmixCollector(Collector):
+    """Copying nursery + mark-region mature, no write rationing."""
+
+    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj):
+        return vm.heap.space("mature.pcm")

@@ -1,0 +1,68 @@
+"""PCM lifetime model (Section VI-G, Equation 1).
+
+::
+
+    Y = (S * E) / (B * 2^25)
+
+with ``S`` the PCM capacity in bytes, ``E`` the cell endurance in
+writes, ``B`` the application's write rate in bytes per second, and
+``2^25`` seconds approximately one year.  The equation assumes perfect
+wear-levelling; the paper derates it to 50 % of the theoretical maximum
+to model realistic hardware (start-gap style) wear-levelling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.config import GB
+
+#: Endurance levels (writes per cell) of the paper's three prototypes.
+PCM_ENDURANCE_LEVELS: Dict[str, float] = {
+    "Prototype 1 (10M writes/cell)": 10e6,
+    "Prototype 2 (30M writes/cell)": 30e6,
+    "Prototype 3 (50M writes/cell)": 50e6,
+}
+
+SECONDS_PER_YEAR = float(1 << 25)
+
+#: The paper assumes hardware wear-levelling within 50 % of perfect.
+DEFAULT_WEAR_LEVELING_EFFICIENCY = 0.5
+
+#: PCM main-memory size assumed by the paper's lifetime study.
+DEFAULT_PCM_BYTES = 32 * GB
+
+
+def pcm_lifetime_years(write_rate_mbs: float,
+                       endurance_writes_per_cell: float = 10e6,
+                       pcm_bytes: int = DEFAULT_PCM_BYTES,
+                       wear_leveling_efficiency: float =
+                       DEFAULT_WEAR_LEVELING_EFFICIENCY) -> float:
+    """Years before PCM wears out at a sustained write rate.
+
+    ``write_rate_mbs`` is the observed PCM write rate in MB/s (the
+    paper's B).  Returns ``inf`` for a zero write rate.
+
+    >>> round(pcm_lifetime_years(140.0), 1)  # recommended max rate
+    36.6
+    """
+    if write_rate_mbs < 0:
+        raise ValueError("write rate cannot be negative")
+    if not 0 < wear_leveling_efficiency <= 1:
+        raise ValueError("wear-levelling efficiency must be in (0, 1]")
+    if write_rate_mbs == 0:
+        return float("inf")
+    bytes_per_second = write_rate_mbs * 1e6
+    ideal_years = (pcm_bytes * endurance_writes_per_cell) / (
+        bytes_per_second * SECONDS_PER_YEAR)
+    return ideal_years * wear_leveling_efficiency
+
+
+def worst_case_lifetime(write_rates_mbs: Sequence[float],
+                        endurance_writes_per_cell: float = 10e6,
+                        **kwargs: float) -> float:
+    """Shortest lifetime across a set of applications (Table III)."""
+    if not write_rates_mbs:
+        raise ValueError("need at least one write rate")
+    return pcm_lifetime_years(max(write_rates_mbs),
+                              endurance_writes_per_cell, **kwargs)

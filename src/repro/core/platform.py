@@ -1,0 +1,302 @@
+"""The hybrid-memory emulation platform (Section III).
+
+:class:`HybridMemoryPlatform` wires together the simulated NUMA
+machine, the OS kernel, the managed runtime, and the write-rate
+monitor, and drives workloads through the paper's measurement
+methodology:
+
+* **replay compilation** — each experiment runs two iterations of the
+  workload; the first warms up (the VM "compiles"), counters reset at
+  a barrier, and only the second, steady-state iteration is measured;
+* **multiprogramming** — N instances run concurrently, interleaved by
+  the scheduler at quantum granularity, so they genuinely contend for
+  the shared LLC; all instances synchronise at the barrier and start
+  the measured iteration together;
+* **two measurement modes** — ``EMULATION`` mirrors the NUMA platform
+  (monitor + kernel noise on Socket 0, scheduling jitter,
+  hyper-threading); ``SIMULATION`` mirrors the Sniper setup the paper
+  validates against (noise-free, deterministic, no hyper-threading).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import (
+    DEFAULT_LATENCY,
+    DEFAULT_SCALE_CONFIG,
+    DEFAULT_SEEDS,
+    LINE_SIZE,
+    LatencyModel,
+    ScaleConfig,
+    SimulationSeeds,
+)
+from repro.core.collectors import collector_config, create_collector
+from repro.core.monitor import WriteRateMonitor
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.vm import Kernel
+from repro.machine.topology import (
+    DRAM_NODE,
+    PCM_NODE,
+    emulation_platform_spec,
+    sniper_simulation_spec,
+)
+from repro.runtime.jvm import JavaVM, RuntimeStats
+
+
+class EmulationMode(enum.Enum):
+    """Which measurement methodology the platform reproduces."""
+
+    EMULATION = "emulation"
+    SIMULATION = "simulation"
+
+
+@dataclass
+class MeasurementResult:
+    """Everything measured during the second (steady-state) iteration."""
+
+    benchmark: str
+    collector: str
+    mode: EmulationMode
+    instances: int
+    pcm_write_lines: int
+    dram_write_lines: int
+    elapsed_seconds: float
+    per_tag_pcm_writes: Dict[str, int]
+    per_tag_dram_writes: Dict[str, int]
+    instance_stats: List[RuntimeStats]
+    monitor_rates_mbs: List[float] = field(default_factory=list)
+    #: Measured Start-Gap wear-levelling efficiency (None unless the
+    #: platform was created with ``track_wear=True``).
+    wear_efficiency: Optional[float] = None
+    #: Max-to-mean PCM line wear before levelling (None when untracked).
+    wear_imbalance: Optional[float] = None
+
+    @property
+    def pcm_write_bytes(self) -> int:
+        return self.pcm_write_lines * LINE_SIZE
+
+    @property
+    def dram_write_bytes(self) -> int:
+        return self.dram_write_lines * LINE_SIZE
+
+    @property
+    def total_write_lines(self) -> int:
+        return self.pcm_write_lines + self.dram_write_lines
+
+    @property
+    def pcm_write_rate_mbs(self) -> float:
+        """PCM write rate in MB/s (the paper's headline metric)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.pcm_write_bytes / self.elapsed_seconds / 1e6
+
+    def describe(self) -> str:
+        return (f"{self.benchmark} x{self.instances} [{self.collector}, "
+                f"{self.mode.value}]: PCM {self.pcm_write_lines} lines "
+                f"({self.pcm_write_rate_mbs:.1f} MB/s), "
+                f"DRAM {self.dram_write_lines} lines, "
+                f"{self.elapsed_seconds * 1e3:.2f} ms")
+
+
+class HybridMemoryPlatform:
+    """Run managed workloads on emulated hybrid DRAM-PCM memory.
+
+    Parameters
+    ----------
+    mode:
+        Emulation (NUMA platform, Section III) or simulation (Sniper
+        stand-in, Section V).
+    scale / latency / seeds:
+        Simulation knobs; defaults reproduce the paper's setup.
+    monitor_interval_rounds:
+        Scheduler rounds between write-rate monitor samples.
+    """
+
+    def __init__(self, mode: EmulationMode = EmulationMode.EMULATION,
+                 scale: ScaleConfig = DEFAULT_SCALE_CONFIG,
+                 latency: LatencyModel = DEFAULT_LATENCY,
+                 seeds: SimulationSeeds = DEFAULT_SEEDS,
+                 monitor_interval_rounds: int = 8,
+                 llc_size_override: int = 0,
+                 track_wear: bool = False) -> None:
+        self.mode = mode
+        self.scale = scale
+        self.latency = latency
+        self.seeds = seeds
+        self.monitor_interval_rounds = monitor_interval_rounds
+        self.llc_size_override = llc_size_override
+        self.track_wear = track_wear
+
+    def _machine_spec(self):
+        if self.mode is EmulationMode.EMULATION:
+            spec = emulation_platform_spec(self.scale, self.latency)
+            if self.llc_size_override:
+                from dataclasses import replace
+                spec = replace(spec, llc_size=self.llc_size_override)
+            return spec
+        return sniper_simulation_spec(self.scale, self.latency,
+                                      llc_size=self.llc_size_override)
+
+    def _build_managed(self, kernel: Kernel, app, collector: str,
+                       config, index: int) -> JavaVM:
+        """Create a JVM sized by the paper's conventions.
+
+        ``app.heap_budget`` is the *total* heap (the paper's "twice the
+        minimum"); the nursery and observer come out of it, so KG-B's
+        3x nursery and KG-W's observer genuinely take virtual memory
+        away from the mature/large spaces (the effect behind Figure 7's
+        KG-B analysis).
+        """
+        nursery = app.nursery_size * config.nursery_factor
+        observer = (config.observer_factor * nursery
+                    if config.has_observer else 0)
+        chunk = self.scale.chunk_size
+        chunked_budget = max(app.heap_budget - nursery - observer, 4 * chunk)
+        return JavaVM(
+            kernel,
+            create_collector(collector),
+            heap_budget=chunked_budget,
+            nursery_size=nursery,
+            app_threads=app.app_threads,
+            scale=self.scale,
+            boot_noise_rate=0.004,
+            seed=self.seeds.derive(self.seeds.workload, index))
+
+    def _build_native(self, kernel: Kernel, app, collector: str):
+        """Create a native runtime (C++ apps run on PCM-Only setups)."""
+        from repro.machine.topology import PCM_NODE as _PCM
+        from repro.native.runtime import NativeRuntime
+
+        if collector != "PCM-Only":
+            raise ValueError(
+                "native (C++) benchmarks model a PCM-Only system; "
+                f"got collector {collector!r}")
+        return NativeRuntime(kernel, heap_bytes=app.heap_budget,
+                             node=_PCM, thread_socket=1,
+                             app_threads=app.app_threads)
+
+    def _make_app(self, app_factory, index: int):
+        """Instantiate an app, passing the platform's scale when the
+        factory accepts one (registry factories do)."""
+        import inspect
+
+        try:
+            parameters = inspect.signature(app_factory).parameters
+        except (TypeError, ValueError):  # builtins, partials without sig
+            parameters = {}
+        accepts_scale = "scale" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values())
+        if accepts_scale:
+            return app_factory(index, scale=self.scale)
+        return app_factory(index)
+
+    def run(self, app_factory: Callable[[int], object],
+            collector: str = "PCM-Only", instances: int = 1) -> MeasurementResult:
+        """Run ``instances`` copies of a benchmark under ``collector``.
+
+        ``app_factory(instance_index)`` must return a fresh benchmark
+        instance (with its own copy of the dataset, per the paper's
+        multiprogramming methodology).
+        """
+        if instances < 1:
+            raise ValueError("need at least one instance")
+        emulating = self.mode is EmulationMode.EMULATION
+        machine = self._machine_spec().build()
+        kernel = Kernel(machine)
+        monitor = WriteRateMonitor(kernel) if emulating else None
+        config = collector_config(collector)
+
+        vms: List[object] = []
+        apps: List[object] = []
+        ctxs = []
+        for index in range(instances):
+            app = self._make_app(app_factory, index)
+            if getattr(app, "runtime", "managed") == "native":
+                vm = self._build_native(kernel, app, collector)
+            else:
+                vm = self._build_managed(kernel, app, collector, config,
+                                         index)
+            ctx = vm.mutator(seed=self.seeds.derive(self.seeds.workload,
+                                                    index + 1000))
+            app.setup(ctx)
+            vms.append(vm)
+            apps.append(app)
+            ctxs.append(ctx)
+
+        # ---- iteration 1: warm-up (replay compilation's compile pass)
+        warmup = Scheduler(seed=self.seeds.scheduler, jitter=emulating)
+        warmup.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)])
+
+        # ---- barrier: reset counters; snapshot cycles and stats
+        machine.reset_counters()
+        if monitor is not None:
+            monitor.reset()
+        wear_tracker = None
+        if self.track_wear:
+            from repro.machine.wear import WearTracker
+            wear_tracker = WearTracker(machine, PCM_NODE)
+        stat_marks = [vm.stats.copy() for vm in vms]
+        mutator_marks = [sum(t.cycles for t in vm.app_threads) for vm in vms]
+
+        # ---- iteration 2: measured, all instances starting together
+        measured = Scheduler(seed=self.seeds.scheduler + 1, jitter=emulating)
+        interval = self.monitor_interval_rounds
+
+        def on_round(round_index: int) -> None:
+            if monitor is not None and round_index % interval == 0:
+                monitor.sample(round_index)
+
+        measured.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)],
+                     on_round=on_round)
+
+        # ---- gather results
+        elapsed_cycles = 0.0
+        instance_stats: List[RuntimeStats] = []
+        for vm, stat_mark, mutator_mark in zip(vms, stat_marks, mutator_marks):
+            vm.finish()
+            delta = vm.stats.snapshot_delta(stat_mark)
+            instance_stats.append(delta)
+            mutator_cycles = (sum(t.cycles for t in vm.app_threads)
+                              - mutator_mark)
+            gc_thread_count = len(getattr(vm, "gc_threads", ())) or 1
+            cycles = (mutator_cycles / len(vm.app_threads)
+                      + delta.gc_cycles / gc_thread_count)
+            elapsed_cycles = max(elapsed_cycles, cycles)
+
+        pcm_node = machine.nodes[PCM_NODE]
+        dram_node = machine.nodes[DRAM_NODE]
+        elapsed_seconds = self.latency.seconds(int(elapsed_cycles))
+        monitor_rates: List[float] = []
+        if monitor is not None and measured.rounds:
+            cycles_per_round = elapsed_cycles / measured.rounds
+            monitor_rates = monitor.write_rate_series(
+                cycles_per_round, self.latency.frequency_hz)
+
+        result = MeasurementResult(
+            benchmark=getattr(apps[0], "name", "custom"),
+            collector=collector,
+            mode=self.mode,
+            instances=instances,
+            pcm_write_lines=pcm_node.write_lines,
+            dram_write_lines=dram_node.write_lines,
+            elapsed_seconds=elapsed_seconds,
+            per_tag_pcm_writes=dict(pcm_node.writes_by_tag),
+            per_tag_dram_writes=dict(dram_node.writes_by_tag),
+            instance_stats=instance_stats,
+            monitor_rates_mbs=monitor_rates,
+        )
+        if wear_tracker is not None:
+            from repro.machine.wear import effective_endurance_efficiency
+            result.wear_imbalance = wear_tracker.imbalance()
+            result.wear_efficiency = effective_endurance_efficiency(
+                wear_tracker)
+            wear_tracker.detach()
+        for vm in vms:
+            vm.shutdown()
+        if monitor is not None:
+            monitor.shutdown()
+        return result

@@ -1,0 +1,21 @@
+"""Experiment harness: batch runs, aggregation, table rendering."""
+
+from repro.harness.experiment import ExperimentRunner, RunKey
+from repro.harness.metrics import (
+    average,
+    geomean,
+    normalize,
+    percent_reduction,
+)
+from repro.harness.tables import format_table, render_series
+
+__all__ = [
+    "ExperimentRunner",
+    "RunKey",
+    "average",
+    "format_table",
+    "geomean",
+    "normalize",
+    "percent_reduction",
+    "render_series",
+]

@@ -1,0 +1,95 @@
+"""Batch experiment runner with result caching.
+
+Several of the paper's figures share underlying measurements (e.g. the
+PCM-Only single-instance runs appear in Figures 4, 5, and 6 and in
+Table III).  :class:`ExperimentRunner` memoises
+:class:`~repro.core.platform.MeasurementResult` objects by run key so a
+full reproduction pass never repeats a configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.config import DEFAULT_SCALE_CONFIG, ScaleConfig
+from repro.core.platform import (
+    EmulationMode,
+    HybridMemoryPlatform,
+    MeasurementResult,
+)
+from repro.workloads.registry import benchmark_factory
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Identity of one measured configuration."""
+
+    benchmark: str
+    collector: str
+    instances: int
+    dataset: str
+    mode: EmulationMode
+    llc_size: int = 0
+    scale: int = DEFAULT_SCALE_CONFIG.scale
+
+
+class ExperimentRunner:
+    """Runs and caches platform measurements.
+
+    Parameters
+    ----------
+    verbose:
+        Print one line per fresh (non-cached) run.
+    """
+
+    def __init__(self, verbose: bool = False) -> None:
+        self._cache: Dict[RunKey, MeasurementResult] = {}
+        self.verbose = verbose
+
+    def run(self, benchmark: str, collector: str = "PCM-Only",
+            instances: int = 1, dataset: str = "default",
+            mode: EmulationMode = EmulationMode.EMULATION,
+            llc_size: int = 0,
+            scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> MeasurementResult:
+        """Measure one configuration (cached)."""
+        key = RunKey(benchmark, collector, instances, dataset, mode,
+                     llc_size, scale.scale)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        platform = HybridMemoryPlatform(mode=mode, scale=scale,
+                                        llc_size_override=llc_size)
+        factory = benchmark_factory(benchmark)
+
+        def make_app(index: int, scale=scale):
+            return factory(index, dataset=dataset, scale=scale)
+
+        result = platform.run(make_app, collector=collector,
+                              instances=instances)
+        self._cache[key] = result
+        if self.verbose:
+            print("  " + result.describe())
+        return result
+
+    def pcm_writes(self, benchmark: str, collector: str = "PCM-Only",
+                   **kwargs) -> int:
+        return self.run(benchmark, collector, **kwargs).pcm_write_lines
+
+    def write_rate(self, benchmark: str, collector: str = "PCM-Only",
+                   **kwargs) -> float:
+        return self.run(benchmark, collector, **kwargs).pcm_write_rate_mbs
+
+    def suite_average_writes(self, benchmarks: List[str],
+                             **kwargs) -> float:
+        from repro.harness.metrics import average
+        return average([self.pcm_writes(b, **kwargs) for b in benchmarks])
+
+    @property
+    def runs_executed(self) -> int:
+        return len(self._cache)
+
+
+#: Module-level runner shared by the experiment scripts and benchmarks,
+#: so a pytest session reproducing every figure reuses measurements.
+SHARED_RUNNER = ExperimentRunner(verbose=False)

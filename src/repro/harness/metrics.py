@@ -1,0 +1,43 @@
+"""Small numeric helpers shared by the experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def average(values: Sequence[float]) -> float:
+    """Arithmetic mean (the paper reports arithmetic means)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, for ratios."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot take the geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_reduction(baseline: float, value: float) -> float:
+    """Reduction of ``value`` relative to ``baseline``, in percent.
+
+    >>> percent_reduction(100, 38)
+    62.0
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (1.0 - value / baseline)
+
+
+def normalize(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalise a dict of values to one entry (figure-style bars)."""
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {key: value / baseline for key, value in values.items()}

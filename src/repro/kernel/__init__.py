@@ -1,0 +1,24 @@
+"""Simulated OS kernel: virtual memory, NUMA placement, scheduling.
+
+The paper's emulator leans on three Linux facilities: ``mmap`` to
+reserve virtual memory, ``mbind`` to pin a range to a NUMA node, and the
+scheduler's CPU affinity to keep threads on the DRAM socket.  This
+package reproduces that API surface over the simulated machine.
+"""
+
+from repro.kernel.addressspace import AddressSpaceLayout
+from repro.kernel.pagetable import PageFault, PageTable
+from repro.kernel.process import Process, SimThread
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.vm import Kernel, MBindError
+
+__all__ = [
+    "AddressSpaceLayout",
+    "Kernel",
+    "MBindError",
+    "PageFault",
+    "PageTable",
+    "Process",
+    "Scheduler",
+    "SimThread",
+]

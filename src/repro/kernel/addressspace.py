@@ -1,0 +1,105 @@
+"""The 32-bit virtual address-space layout of a managed process.
+
+Jikes RVM runs in a 32-bit address space: Linux owns the upper 1 GB,
+system libraries take a slice for the ``malloc`` heap, and the paper
+places the managed heap in the middle 2 GB, split into a PCM-backed
+portion followed by a DRAM-backed portion (Figure 1):
+
+::
+
+    0 ... BOOT ... META ... PCM_START ...... PCM_END ...... DRAM_END
+     (libc) boot    side      PCM spaces       DRAM spaces
+            image   metadata  (FreeList-Lo)    (FreeList-Hi, nursery
+                                                at the top end)
+
+The layout object only computes boundaries; the kernel and the heap
+manager interpret them.  Sizes are scaled like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_SCALE_CONFIG, MB, PAGE_SIZE, ScaleConfig, scaled
+
+
+@dataclass(frozen=True)
+class AddressSpaceLayout:
+    """Virtual-memory boundaries for one managed process.
+
+    Attributes
+    ----------
+    boot_start / boot_end:
+        The boot image (boot-image runner + VM image files).
+    meta_start / meta_end:
+        Virtual homes of the side-metadata spaces (mark bytes).
+    pcm_start / pcm_end:
+        The PCM-backed portion of the managed heap (FreeList-Lo).
+    dram_start / dram_end:
+        The DRAM-backed portion (FreeList-Hi); the nursery sits at the
+        top end so the fast boundary write barrier is a single compare.
+    """
+
+    boot_start: int
+    boot_end: int
+    meta_start: int
+    meta_end: int
+    pcm_start: int
+    pcm_end: int
+    dram_start: int
+    dram_end: int
+
+    def __post_init__(self) -> None:
+        bounds = (self.boot_start, self.boot_end, self.meta_start,
+                  self.meta_end, self.pcm_start, self.pcm_end,
+                  self.dram_start, self.dram_end)
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"address space boundaries out of order: {bounds}")
+        for bound in bounds:
+            if bound % PAGE_SIZE:
+                raise ValueError(f"boundary {bound:#x} not page aligned")
+        if self.pcm_end != self.dram_start:
+            raise ValueError("DRAM portion must start where PCM portion ends")
+
+    @property
+    def pcm_capacity(self) -> int:
+        return self.pcm_end - self.pcm_start
+
+    @property
+    def dram_capacity(self) -> int:
+        return self.dram_end - self.dram_start
+
+    @property
+    def heap_capacity(self) -> int:
+        return self.dram_end - self.pcm_start
+
+    def in_pcm_portion(self, vaddr: int) -> bool:
+        return self.pcm_start <= vaddr < self.pcm_end
+
+    def in_dram_portion(self, vaddr: int) -> bool:
+        return self.dram_start <= vaddr < self.dram_end
+
+    @classmethod
+    def build(cls, scale: ScaleConfig = DEFAULT_SCALE_CONFIG,
+              boot_size: int = 0, pcm_fraction: float = 0.75) -> "AddressSpaceLayout":
+        """Standard layout: boot image, metadata, then the heap.
+
+        ``pcm_fraction`` of the heap's virtual range is PCM-backed; the
+        paper gives PCM the larger share since PCM provides capacity.
+        """
+        boot = boot_size or scaled(48 * MB, scale.scale)
+        heap = scaled(2048 * MB, scale.scale)
+        # One mark byte per 64 heap bytes, rounded to pages, plus slack
+        # for the two metadata spaces rounding up independently.
+        meta = max(PAGE_SIZE, ((heap >> 6) + PAGE_SIZE - 1)
+                   // PAGE_SIZE * PAGE_SIZE) + 2 * PAGE_SIZE
+        pcm_bytes = (int(heap * pcm_fraction) // PAGE_SIZE) * PAGE_SIZE
+        boot_start = PAGE_SIZE  # leave page 0 unmapped, as Linux does
+        boot_end = boot_start + boot
+        meta_start = boot_end
+        meta_end = meta_start + meta
+        pcm_start = meta_end
+        pcm_end = pcm_start + pcm_bytes
+        dram_end = pcm_start + heap
+        return cls(boot_start, boot_end, meta_start, meta_end,
+                   pcm_start, pcm_end, pcm_end, dram_end)

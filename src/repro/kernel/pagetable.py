@@ -1,0 +1,82 @@
+"""Per-process page tables translating virtual pages to physical frames.
+
+Translation happens on every simulated memory access, so the table keeps
+a flat ``dict`` from virtual page number to the *physical line base* of
+the mapped frame — one dict lookup plus shift/mask per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.config import PAGE_SHIFT
+
+#: Lines per page (PAGE_SIZE / LINE_SIZE).
+LINES_PER_PAGE_SHIFT = PAGE_SHIFT - 6
+LINE_OFFSET_MASK = (1 << LINES_PER_PAGE_SHIFT) - 1
+
+
+class PageFault(Exception):
+    """Access to an unmapped virtual address."""
+
+    def __init__(self, vaddr: int) -> None:
+        super().__init__(f"page fault at {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class PageTable:
+    """Virtual page -> (node, frame) mapping for one process."""
+
+    def __init__(self) -> None:
+        # vpage -> physical line base (paddr >> 6 of the frame start)
+        self._line_base: Dict[int, int] = {}
+        # vpage -> (node_id, frame) for unmapping and introspection
+        self._entries: Dict[int, Tuple[int, int]] = {}
+
+    def map_page(self, vpage: int, node_id: int, frame: int,
+                 frame_paddr: int) -> None:
+        """Install a mapping; remapping an existing page is an error."""
+        if vpage in self._entries:
+            raise ValueError(f"virtual page {vpage:#x} already mapped")
+        self._entries[vpage] = (node_id, frame)
+        self._line_base[vpage] = frame_paddr >> 6
+
+    def unmap_page(self, vpage: int) -> Tuple[int, int]:
+        """Remove a mapping, returning ``(node_id, frame)``."""
+        entry = self._entries.pop(vpage, None)
+        if entry is None:
+            raise PageFault(vpage << PAGE_SHIFT)
+        del self._line_base[vpage]
+        return entry
+
+    def is_mapped(self, vpage: int) -> bool:
+        return vpage in self._entries
+
+    def entry(self, vpage: int) -> Tuple[int, int]:
+        try:
+            return self._entries[vpage]
+        except KeyError:
+            raise PageFault(vpage << PAGE_SHIFT) from None
+
+    def translate_line(self, vaddr: int) -> int:
+        """Physical line address for ``vaddr`` (hot path)."""
+        vline = vaddr >> 6
+        base = self._line_base.get(vline >> LINES_PER_PAGE_SHIFT)
+        if base is None:
+            raise PageFault(vaddr)
+        return base + (vline & LINE_OFFSET_MASK)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(vpage, node_id, frame)`` for every mapping."""
+        for vpage, (node, frame) in self._entries.items():
+            yield vpage, node, frame
+
+    #: Exposed for the hot access loop: translate without method-call
+    #: overhead by binding ``table.line_base_map`` locally.
+    @property
+    def line_base_map(self) -> Dict[int, int]:
+        return self._line_base

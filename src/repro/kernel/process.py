@@ -1,0 +1,97 @@
+"""Processes and simulated threads.
+
+A :class:`Process` owns a page table and a set of :class:`SimThread`
+contexts.  ``SimThread.access`` is the single hottest function in the
+whole simulator: every mutator and collector byte-touch funnels through
+it, so it inlines the page-table walk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.kernel.pagetable import (
+    LINE_OFFSET_MASK,
+    LINES_PER_PAGE_SHIFT,
+    PageFault,
+    PageTable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.vm import Kernel
+    from repro.machine.numa import CorePath
+
+
+class SimThread:
+    """One executing context: a core access path plus a cycle counter."""
+
+    def __init__(self, thread_id: int, process: "Process",
+                 core_path: "CorePath") -> None:
+        self.thread_id = thread_id
+        self.process = process
+        self.core_path = core_path
+        self.cycles = 0
+
+    @property
+    def socket_id(self) -> int:
+        return self.core_path.socket.socket_id
+
+    def access(self, vaddr: int, size: int, is_write: bool) -> int:
+        """Touch ``size`` bytes at ``vaddr``; returns cycles spent."""
+        line_map = self.process.page_table.line_base_map
+        access_line = self.core_path.access_line
+        first = vaddr >> 6
+        last = (vaddr + size - 1) >> 6
+        cycles = 0
+        for vline in range(first, last + 1):
+            base = line_map.get(vline >> LINES_PER_PAGE_SHIFT)
+            if base is None:
+                raise PageFault(vline << 6)
+            cycles += access_line(base + (vline & LINE_OFFSET_MASK), is_write)
+        self.cycles += cycles
+        return cycles
+
+    def compute(self, cycles: int) -> None:
+        """Account non-memory work (the latency model's op cost)."""
+        self.cycles += cycles
+
+
+class Process:
+    """A managed or native application instance.
+
+    Threads are bound to ``affinity_socket`` (the paper binds everything
+    to Socket 0, or to Socket 1 when emulating PCM-Only, Section III-B).
+    """
+
+    def __init__(self, pid: int, kernel: "Kernel",
+                 affinity_socket: int = 0) -> None:
+        self.pid = pid
+        self.kernel = kernel
+        self.affinity_socket = affinity_socket
+        self.page_table = PageTable()
+        self.threads: List[SimThread] = []
+        self._next_tid = 0
+
+    def spawn_thread(self, socket_id: Optional[int] = None) -> SimThread:
+        """Create a thread bound to ``socket_id`` (default: affinity)."""
+        socket = self.affinity_socket if socket_id is None else socket_id
+        core_path = self.kernel.machine.make_core(socket)
+        thread = SimThread(self._next_tid, self, core_path)
+        self._next_tid += 1
+        self.threads.append(thread)
+        return thread
+
+    def total_cycles(self) -> int:
+        return sum(thread.cycles for thread in self.threads)
+
+    def drain_caches(self) -> None:
+        """Flush this process's private caches into the shared LLC."""
+        for thread in self.threads:
+            thread.core_path.drain()
+
+    def exit(self) -> None:
+        """Release every physical frame this process maps."""
+        self.kernel.reclaim_process(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process(pid={self.pid}, threads={len(self.threads)})"

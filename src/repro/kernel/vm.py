@@ -1,0 +1,92 @@
+"""The kernel: ``mmap``/``mbind`` and physical-frame bookkeeping.
+
+The paper's modified JVM calls ``mmap()`` to reserve chunk-sized virtual
+ranges and ``mbind()`` with a socket number to bind each range to DRAM
+(Socket 0) or PCM (Socket 1).  :meth:`Kernel.mmap_bind` performs both in
+one step and eagerly backs the range with frames — the emulator touches
+every chunk it maps, so lazy faulting would only add noise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import PAGE_SHIFT, PAGE_SIZE
+from repro.kernel.process import Process
+from repro.machine.numa import NumaMachine
+
+
+class MBindError(Exception):
+    """Invalid NUMA binding request."""
+
+
+class Kernel:
+    """Owns the machine's physical memory and process table."""
+
+    def __init__(self, machine: NumaMachine) -> None:
+        self.machine = machine
+        self.processes: List[Process] = []
+        self._next_pid = 1
+
+    def create_process(self, affinity_socket: int = 0) -> Process:
+        """Fork a new process bound to ``affinity_socket``."""
+        if not 0 <= affinity_socket < len(self.machine.sockets):
+            raise MBindError(f"no such socket: {affinity_socket}")
+        process = Process(self._next_pid, self, affinity_socket)
+        self._next_pid += 1
+        self.processes.append(process)
+        return process
+
+    def mmap_bind(self, process: Process, vaddr: int, length: int,
+                  node_id: int, tag: Optional[str] = None) -> None:
+        """Map ``[vaddr, vaddr+length)`` to frames on ``node_id``.
+
+        ``tag`` attributes the backing frames to a heap space for the
+        per-space write breakdown used in simulation mode.
+        """
+        if vaddr % PAGE_SIZE or length % PAGE_SIZE or length <= 0:
+            raise MBindError(
+                f"unaligned mmap request: vaddr={vaddr:#x} length={length}")
+        if not 0 <= node_id < len(self.machine.nodes):
+            raise MBindError(f"no such NUMA node: {node_id}")
+        node = self.machine.nodes[node_id]
+        first_page = vaddr >> PAGE_SHIFT
+        for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
+            frame = node.allocate_frame()
+            if tag is not None:
+                node.tag_frame(frame, tag)
+            process.page_table.map_page(vpage, node_id, frame,
+                                        node.frame_to_paddr(frame))
+
+    def retag_range(self, process: Process, vaddr: int, length: int,
+                    tag: str) -> None:
+        """Re-attribute the frames backing a mapped range to ``tag``.
+
+        Used when a free chunk is recycled by a different space: the
+        physical pages stay put, only the accounting label changes.
+        """
+        if vaddr % PAGE_SIZE or length % PAGE_SIZE or length <= 0:
+            raise MBindError(
+                f"unaligned retag request: vaddr={vaddr:#x} length={length}")
+        first_page = vaddr >> PAGE_SHIFT
+        for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
+            node_id, frame = process.page_table.entry(vpage)
+            self.machine.nodes[node_id].tag_frame(frame, tag)
+
+    def munmap(self, process: Process, vaddr: int, length: int) -> None:
+        """Unmap a range, returning its frames to their nodes."""
+        if vaddr % PAGE_SIZE or length % PAGE_SIZE or length <= 0:
+            raise MBindError(
+                f"unaligned munmap request: vaddr={vaddr:#x} length={length}")
+        first_page = vaddr >> PAGE_SHIFT
+        for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
+            node_id, frame = process.page_table.unmap_page(vpage)
+            self.machine.nodes[node_id].free_frame(frame)
+
+    def reclaim_process(self, process: Process) -> None:
+        """Tear down a process: free all frames, drop it from the table."""
+        for vpage, node_id, frame in list(process.page_table.entries()):
+            process.page_table.unmap_page(vpage)
+            self.machine.nodes[node_id].free_frame(frame)
+        if process in self.processes:
+            self.processes.remove(process)

@@ -1,0 +1,43 @@
+"""Simulated NUMA hardware: caches, memory nodes, sockets.
+
+This package is the reproduction's stand-in for the paper's two-socket
+Intel Xeon platform.  It models the two mechanisms every result in the
+paper depends on:
+
+* **write-back caching** — memory writes are dirty-line evictions from
+  the shared last-level cache, so a large LLC absorbs nursery writes and
+  multiprogrammed workloads interfere in it (Findings 1 and 3);
+* **page placement** — each physical frame lives on a NUMA node, and
+  writes are counted per node, which is exactly how the paper measures
+  "PCM" writes on the remote socket.
+"""
+
+from repro.machine.cache import CacheLevel, CacheStats
+from repro.machine.memory import MemoryNode, OutOfPhysicalMemory
+from repro.machine.numa import CorePath, NumaMachine, Socket
+from repro.machine.wear import (
+    StartGapWearLeveler,
+    WearTracker,
+    effective_endurance_efficiency,
+)
+from repro.machine.topology import (
+    MachineSpec,
+    emulation_platform_spec,
+    sniper_simulation_spec,
+)
+
+__all__ = [
+    "CacheLevel",
+    "CacheStats",
+    "CorePath",
+    "MachineSpec",
+    "MemoryNode",
+    "NumaMachine",
+    "OutOfPhysicalMemory",
+    "Socket",
+    "StartGapWearLeveler",
+    "WearTracker",
+    "effective_endurance_efficiency",
+    "emulation_platform_spec",
+    "sniper_simulation_spec",
+]

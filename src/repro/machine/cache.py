@@ -1,0 +1,155 @@
+"""Set-associative write-back, write-allocate caches with LRU replacement.
+
+The model tracks, per cache line, only presence and a dirty bit — the
+minimum state needed to count memory writes as dirty evictions, which is
+how the paper's emulation platform observes PCM writes.
+
+Implementation notes: each set is a plain ``dict`` mapping tag to dirty
+flag.  CPython dicts preserve insertion order, so LRU is "pop and
+re-insert on hit, evict first key on overflow" — all C-level operations,
+which keeps the per-access cost low enough to push millions of accesses
+through the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class CacheLevel:
+    """One level of a write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.
+    assoc:
+        Associativity (ways per set).
+    line_size:
+        Cache line size in bytes; must divide ``size``.
+    name:
+        Label used in stats dumps ("L2", "LLC", ...).
+    """
+
+    def __init__(self, size: int, assoc: int, line_size: int = 64,
+                 name: str = "cache") -> None:
+        if size <= 0 or assoc <= 0 or line_size <= 0:
+            raise ValueError("cache size, assoc, line_size must be positive")
+        lines = size // line_size
+        if lines == 0 or size % line_size:
+            raise ValueError("cache size must be a multiple of line_size")
+        if lines % assoc:
+            raise ValueError(
+                f"{name}: {lines} lines not divisible by assoc {assoc}")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = lines // assoc
+        self.stats = CacheStats()
+        # One ordered dict per set: tag -> dirty flag.
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+
+    def lookup(self, line: int) -> bool:
+        """Return True if ``line`` is present, without touching LRU state."""
+        return (line // self.num_sets) in self._sets[line % self.num_sets]
+
+    def is_dirty(self, line: int) -> bool:
+        """Return the dirty bit of ``line`` (False if absent)."""
+        return self._sets[line % self.num_sets].get(line // self.num_sets, False)
+
+    def access(self, line: int, is_write: bool) -> Tuple[bool, Optional[int], bool]:
+        """Access one cache line.
+
+        Returns ``(hit, victim_line, victim_dirty)``.  On a miss the line
+        is allocated (write-allocate); if the set overflows, the LRU
+        victim is evicted and returned so the caller can propagate a
+        write-back.  ``victim_line`` is ``None`` when nothing was evicted.
+        """
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets[set_index]
+        stats = self.stats
+        dirty = cache_set.pop(tag, None)
+        if dirty is not None:
+            # Hit: re-insert at MRU position, merging the dirty bit.
+            cache_set[tag] = dirty or is_write
+            stats.hits += 1
+            return True, None, False
+        stats.misses += 1
+        victim_line: Optional[int] = None
+        victim_dirty = False
+        if len(cache_set) >= self.assoc:
+            victim_tag = next(iter(cache_set))
+            victim_dirty = cache_set.pop(victim_tag)
+            victim_line = victim_tag * self.num_sets + set_index
+            stats.evictions += 1
+            if victim_dirty:
+                stats.dirty_evictions += 1
+        cache_set[tag] = is_write
+        return False, victim_line, victim_dirty
+
+    def install_dirty(self, line: int) -> Tuple[Optional[int], bool]:
+        """Install ``line`` as dirty (an incoming write-back from above).
+
+        Returns ``(victim_line, victim_dirty)`` for any line displaced.
+        Unlike :meth:`access`, this never counts as a demand hit/miss.
+        """
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets[set_index]
+        if cache_set.pop(tag, None) is not None:
+            cache_set[tag] = True
+            return None, False
+        victim_line: Optional[int] = None
+        victim_dirty = False
+        if len(cache_set) >= self.assoc:
+            victim_tag = next(iter(cache_set))
+            victim_dirty = cache_set.pop(victim_tag)
+            victim_line = victim_tag * self.num_sets + set_index
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.dirty_evictions += 1
+        cache_set[tag] = True
+        return victim_line, victim_dirty
+
+    def flush(self) -> List[int]:
+        """Write back and drop every line; return the dirty line addresses."""
+        dirty_lines: List[int] = []
+        for set_index, cache_set in enumerate(self._sets):
+            for tag, dirty in cache_set.items():
+                if dirty:
+                    dirty_lines.append(tag * self.num_sets + set_index)
+            cache_set.clear()
+        return dirty_lines
+
+    def resident_lines(self) -> List[int]:
+        """All line addresses currently cached (for tests/invariants)."""
+        lines: List[int] = []
+        for set_index, cache_set in enumerate(self._sets):
+            lines.extend(tag * self.num_sets + set_index for tag in cache_set)
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheLevel({self.name}, {self.size}B, "
+                f"{self.assoc}-way, {self.num_sets} sets)")

@@ -1,0 +1,149 @@
+"""Two-socket NUMA machine: sockets, QPI, and the core access path.
+
+The paper's platform (Figure 2): threads execute on Socket 0 whose DRAM
+emulates DRAM, while Socket 1's DRAM emulates PCM and runs no threads.
+Here a :class:`Socket` bundles a shared LLC with a memory node, and a
+:class:`CorePath` is the per-hardware-thread access path (private cache
+in front of its socket's LLC).  Remote accesses pay a QPI latency
+penalty, mirroring the emulator's use of remote-socket latency as a
+stand-in for PCM latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import LatencyModel
+from repro.machine.cache import CacheLevel
+from repro.machine.memory import MemoryNode, node_of_line
+
+
+class Socket:
+    """One CPU socket: cores sharing an LLC, plus attached memory."""
+
+    def __init__(self, socket_id: int, llc: CacheLevel, memory: MemoryNode,
+                 cores: int, hyperthreads: int = 2) -> None:
+        self.socket_id = socket_id
+        self.llc = llc
+        self.memory = memory
+        self.cores = cores
+        self.hyperthreads = hyperthreads
+
+    @property
+    def logical_cpus(self) -> int:
+        return self.cores * self.hyperthreads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Socket({self.socket_id}, {self.cores} cores, {self.memory.kind})"
+
+
+class CorePath:
+    """The memory-access path of one executing context.
+
+    Owns a private cache (modelling the per-core L1+L2) in front of its
+    socket's shared LLC.  ``access`` returns the latency in cycles and
+    routes dirty evictions to the owning memory node's counters.
+    """
+
+    def __init__(self, machine: "NumaMachine", socket: Socket,
+                 private: Optional[CacheLevel]) -> None:
+        self.machine = machine
+        self.socket = socket
+        self.private = private
+
+    def access_line(self, line: int, is_write: bool) -> int:
+        """Access one physical cache line; returns cycles spent."""
+        machine = self.machine
+        latency = machine.latency
+        private = self.private
+        llc = self.socket.llc
+        if private is not None:
+            hit, victim, victim_dirty = private.access(line, is_write)
+            if hit:
+                return latency.l2_hit
+            if victim_dirty:
+                # Write-back into the LLC; may displace a dirty LLC line
+                # all the way to memory.
+                wb_victim, wb_dirty = llc.install_dirty(victim)
+                if wb_dirty:
+                    machine.memory_write(wb_victim)
+            hit, victim, victim_dirty = llc.access(line, False)
+        else:
+            hit, victim, victim_dirty = llc.access(line, is_write)
+        if victim_dirty:
+            machine.memory_write(victim)
+        if hit:
+            return latency.llc_hit
+        node = node_of_line(line)
+        machine.nodes[node].record_read(line)
+        return latency.memory_latency(remote=node != self.socket.memory.node_id)
+
+    def drain(self) -> None:
+        """Flush the private cache into the LLC (end-of-run hygiene)."""
+        if self.private is None:
+            return
+        llc = self.socket.llc
+        for line in self.private.flush():
+            wb_victim, wb_dirty = llc.install_dirty(line)
+            if wb_dirty:
+                self.machine.memory_write(wb_victim)
+
+
+class NumaMachine:
+    """A multi-socket machine with per-node write counters.
+
+    Parameters
+    ----------
+    sockets:
+        The sockets, indexed by socket id; ``sockets[i].memory.node_id``
+        must equal ``i``.
+    latency:
+        The cycle-cost model shared by every core.
+    """
+
+    def __init__(self, sockets: List[Socket], latency: LatencyModel) -> None:
+        if not sockets:
+            raise ValueError("a machine needs at least one socket")
+        for index, socket in enumerate(sockets):
+            if socket.socket_id != index or socket.memory.node_id != index:
+                raise ValueError("socket/node ids must match their index")
+        self.sockets = sockets
+        self.nodes: List[MemoryNode] = [s.memory for s in sockets]
+        self.latency = latency
+        #: Optional hook fired on every memory write (line address); the
+        #: write-rate monitor and tests subscribe here.
+        self.write_listeners: List[Callable[[int], None]] = []
+        self._core_caches: Dict[int, int] = {}
+        self.private_cache_factory: Optional[Callable[[], CacheLevel]] = None
+
+    def memory_write(self, line: int) -> None:
+        """Route a dirty-line write-back to its home node."""
+        self.nodes[node_of_line(line)].record_write(line)
+        for listener in self.write_listeners:
+            listener(line)
+
+    def make_core(self, socket_id: int) -> CorePath:
+        """Create an access path for a context bound to ``socket_id``."""
+        socket = self.sockets[socket_id]
+        private = (self.private_cache_factory()
+                   if self.private_cache_factory is not None else None)
+        return CorePath(self, socket, private)
+
+    def flush_all(self, core_paths: List[CorePath]) -> None:
+        """Flush private caches and every LLC out to memory."""
+        for path in core_paths:
+            path.drain()
+        for socket in self.sockets:
+            for line in socket.llc.flush():
+                self.memory_write(line)
+
+    def reset_counters(self) -> None:
+        for node in self.nodes:
+            node.reset_counters()
+
+    def node_writes(self, node_id: int) -> int:
+        """Lines written to ``node_id`` since the last reset."""
+        return self.nodes[node_id].write_lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NumaMachine({len(self.sockets)} sockets)"

@@ -1,0 +1,21 @@
+"""Manual memory management: the C/C++ side of the comparison.
+
+The paper contrasts Java's generational heaps with C++'s malloc/free
+(Section VI-A): C++ does not zero-initialise, never copies objects, and
+scatters fresh allocation across the heap through free-list reuse —
+but it also cannot segregate written objects into DRAM.  This package
+implements a first-fit free-list allocator with splitting and
+coalescing over a simulated heap region, plus a native runtime that
+plays the role of the JVM for C++ workloads.
+"""
+
+from repro.native.malloc import FreeListAllocator, NativeOutOfMemory
+from repro.native.runtime import NativeContext, NativeObj, NativeRuntime
+
+__all__ = [
+    "FreeListAllocator",
+    "NativeContext",
+    "NativeObj",
+    "NativeOutOfMemory",
+    "NativeRuntime",
+]

@@ -1,0 +1,50 @@
+"""A Jikes-RVM-style managed runtime over the simulated machine.
+
+Implements the paper's modified JVM: a generational heap carved out of
+a 32-bit address space, chunked virtual memory handed out by two free
+lists (DRAM vs PCM, Figure 1), bump-pointer nursery allocation with
+zero-initialisation, boundary write barriers with remembered sets, and
+the space types the Kingsguard collectors compose (nursery, observer,
+Immix-style mature, large-object, metadata, boot).
+"""
+
+from repro.runtime.freelist import ChunkFreeList, ChunkRecord, OutOfVirtualMemory
+from repro.runtime.heap import HybridHeap, OutOfMemoryError
+from repro.runtime.jvm import JavaVM, MutatorContext, RuntimeStats
+from repro.runtime.objectmodel import (
+    HEADER_BYTES,
+    LOS_THRESHOLD,
+    REF_BYTES,
+    Obj,
+    object_size,
+)
+from repro.runtime.spaces import (
+    BootSpace,
+    ContiguousSpace,
+    LargeObjectSpace,
+    MatureSpace,
+    MetadataSpace,
+    Space,
+)
+
+__all__ = [
+    "BootSpace",
+    "ChunkFreeList",
+    "ChunkRecord",
+    "ContiguousSpace",
+    "HEADER_BYTES",
+    "HybridHeap",
+    "JavaVM",
+    "LOS_THRESHOLD",
+    "LargeObjectSpace",
+    "MatureSpace",
+    "MetadataSpace",
+    "MutatorContext",
+    "Obj",
+    "OutOfMemoryError",
+    "OutOfVirtualMemory",
+    "REF_BYTES",
+    "RuntimeStats",
+    "Space",
+    "object_size",
+]

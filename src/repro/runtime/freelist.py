@@ -1,0 +1,119 @@
+"""The dual chunk free lists of Figure 1.
+
+Virtual heap memory is handed to spaces in fixed-size chunks (the paper
+uses Jikes RVM's 4 MB default; scaled here).  Two free lists manage the
+two portions of the heap: **FreeList-Lo** for the PCM-backed portion and
+**FreeList-Hi** for the DRAM-backed portion.  Each entry records the
+chunk's size, free/in-use status, and owning space — exactly the
+metadata the paper describes.
+
+The design's key property, argued in Section III-A: once a chunk is
+mapped to physical memory it is *never unmapped*; a freed chunk is
+recycled by the next space that asks this free list.  Chunks therefore
+never migrate between DRAM and PCM, which is what makes the two-list
+design efficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+class OutOfVirtualMemory(MemoryError):
+    """The free list's virtual range is exhausted."""
+
+
+@dataclass
+class ChunkRecord:
+    """Free-list entry: meta-information about one chunk."""
+
+    addr: int
+    size: int
+    free: bool
+    owner: Optional[str]  # owning space name, None when never used
+    mapped: bool = False
+
+
+class ChunkFreeList:
+    """Chunk allocator over one contiguous virtual range.
+
+    Parameters
+    ----------
+    name:
+        ``"FreeList-Lo"`` or ``"FreeList-Hi"``.
+    start, end:
+        Virtual range this list carves into chunks.
+    chunk_size:
+        Chunk granularity (a multiple of the page size).
+    map_callback:
+        Called with ``(addr, size)`` the first time a chunk is handed
+        out, so the heap can ``mmap``+``mbind`` it; never called again
+        for the same chunk (chunks stay mapped).
+    """
+
+    def __init__(self, name: str, start: int, end: int, chunk_size: int,
+                 map_callback: Callable[[int, int], None]) -> None:
+        if (end - start) % chunk_size or end <= start:
+            raise ValueError("free-list range must be a multiple of chunk size")
+        self.name = name
+        self.start = start
+        self.end = end
+        self.chunk_size = chunk_size
+        self._map_callback = map_callback
+        self._records: Dict[int, ChunkRecord] = {}
+        self._free: List[int] = []  # addresses of free, already-mapped chunks
+        self._bump = start
+
+    @property
+    def total_chunks(self) -> int:
+        return (self.end - self.start) // self.chunk_size
+
+    @property
+    def chunks_in_use(self) -> int:
+        return len(self._records) - len(self._free)
+
+    @property
+    def free_chunks(self) -> int:
+        """Mapped-but-free chunks plus never-handed-out chunks."""
+        remaining = (self.end - self._bump) // self.chunk_size
+        return len(self._free) + remaining
+
+    def acquire(self, owner: str) -> ChunkRecord:
+        """Hand a chunk to space ``owner``, recycling a mapped one first."""
+        if self._free:
+            record = self._records[self._free.pop()]
+            record.free = False
+            record.owner = owner
+            return record
+        if self._bump >= self.end:
+            raise OutOfVirtualMemory(
+                f"{self.name}: all {self.total_chunks} chunks in use")
+        addr = self._bump
+        self._bump += self.chunk_size
+        record = ChunkRecord(addr, self.chunk_size, free=False, owner=owner)
+        self._records[addr] = record
+        self._map_callback(addr, self.chunk_size)
+        record.mapped = True
+        return record
+
+    def release(self, addr: int) -> None:
+        """Return a chunk; it stays mapped and is recycled later."""
+        record = self._records.get(addr)
+        if record is None:
+            raise ValueError(f"{self.name}: {addr:#x} is not a chunk")
+        if record.free:
+            raise ValueError(f"{self.name}: double free of chunk {addr:#x}")
+        record.free = True
+        record.owner = None
+        self._free.append(addr)
+
+    def record(self, addr: int) -> ChunkRecord:
+        return self._records[addr]
+
+    def records(self) -> List[ChunkRecord]:
+        return list(self._records.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ChunkFreeList({self.name}, "
+                f"{self.chunks_in_use}/{self.total_chunks} in use)")

@@ -1,0 +1,31 @@
+"""Benchmark workloads: DaCapo, Pjbb, and GraphChi equivalents.
+
+We cannot execute Java bytecode, so each benchmark is modelled by the
+memory behaviour that drives the paper's results: allocation volume and
+size mix, nursery survival, mutation skew, large-object traffic, and
+compute intensity.  The GraphChi applications additionally run *real*
+PageRank / Connected Components / ALS over synthetic datasets, in both
+managed ("Java") and manually-managed ("C++") variants.
+"""
+
+from repro.workloads.base import BenchmarkApp, SyntheticApp, WorkloadProfile
+from repro.workloads.registry import (
+    ALL_BENCHMARKS,
+    DACAPO_BENCHMARKS,
+    GRAPHCHI_BENCHMARKS,
+    SUITES,
+    benchmark_factory,
+    benchmarks_in_suite,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkApp",
+    "DACAPO_BENCHMARKS",
+    "GRAPHCHI_BENCHMARKS",
+    "SUITES",
+    "SyntheticApp",
+    "WorkloadProfile",
+    "benchmark_factory",
+    "benchmarks_in_suite",
+]

@@ -1,0 +1,111 @@
+"""Synthetic datasets standing in for LiveJournal and Netflix.
+
+The paper processes 1 M edges of the SNAP LiveJournal graph (PR, CC)
+and 1 M ratings of the Netflix Challenge training set (ALS); the
+"large" dataset is 10 M of each.  We cannot ship those datasets, so we
+generate structurally equivalent synthetic ones:
+
+* a directed graph with a power-law degree distribution (preferential
+  attachment flavoured), matching the social-network skew that makes a
+  few vertices grow large adjacency arrays;
+* a bipartite user x movie rating set with a skewed popularity
+  distribution.
+
+Edge/rating counts go through the global scale factor, preserving the
+dataset-to-heap ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_SCALE, DEFAULT_SEEDS
+
+#: Paper-reported sizes (edges or ratings).
+DEFAULT_EDGES = 1_000_000
+LARGE_EDGES = 10_000_000
+
+
+def scaled_count(paper_count: int, scale: int = DEFAULT_SCALE) -> int:
+    return max(64, paper_count // scale)
+
+
+@dataclass
+class Graph:
+    """A directed graph in CSR-like form."""
+
+    num_vertices: int
+    #: adjacency[v] = list of out-neighbours of v
+    adjacency: List[List[int]]
+    num_edges: int
+
+    @property
+    def max_degree(self) -> int:
+        return max((len(adj) for adj in self.adjacency), default=0)
+
+
+def generate_graph(num_edges: int, seed: int = DEFAULT_SEEDS.datasets,
+                   vertices_per_edge: float = 0.12,
+                   hub_skew: float = 1.0) -> Graph:
+    """Power-law directed graph with ``num_edges`` edges.
+
+    Source ranks are drawn log-uniformly (``rank = n^u``), a standard
+    heavy-tail sampler: a handful of hub vertices accumulate very large
+    adjacency lists, like the celebrities of the LiveJournal graph.
+    ``hub_skew`` > 1 flattens the tail, < 1 sharpens it.
+    """
+    rng = np.random.default_rng(seed)
+    num_vertices = max(8, int(num_edges * vertices_per_edge))
+    # A rank permutation so hub ids are spread over the id space.
+    ranks = rng.permutation(num_vertices)
+    # Log-uniform rank: heavy mass on the first few ranks.
+    u = rng.random(num_edges) ** hub_skew
+    indices = np.minimum((num_vertices ** u).astype(np.int64) - 1,
+                         num_vertices - 1)
+    sources = ranks[np.maximum(indices, 0)]
+    targets = rng.integers(0, num_vertices, size=num_edges)
+    adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+    for src, dst in zip(sources.tolist(), targets.tolist()):
+        adjacency[src].append(dst)
+    return Graph(num_vertices, adjacency, num_edges)
+
+
+@dataclass
+class Ratings:
+    """A bipartite rating dataset (users x items)."""
+
+    num_users: int
+    num_items: int
+    #: (user, item) pairs; values are irrelevant to memory behaviour.
+    pairs: List[Tuple[int, int]]
+
+    @property
+    def num_ratings(self) -> int:
+        return len(self.pairs)
+
+
+#: Scaled Netflix population: 480 k users and ~18 k movies divided by
+#: the default scale factor.  The population does not grow with the
+#: rating count — a larger training set means more ratings per user.
+NETFLIX_USERS = scaled_count(480_000)
+NETFLIX_ITEMS = scaled_count(17_770)
+
+
+def generate_ratings(num_ratings: int, seed: int = DEFAULT_SEEDS.datasets,
+                     users_per_rating: float = 0.48,
+                     items_per_rating: float = 0.017) -> Ratings:
+    """Netflix-style ratings with popular-item skew."""
+    rng = np.random.default_rng(seed)
+    num_users = max(8, min(int(num_ratings * users_per_rating),
+                           NETFLIX_USERS))
+    num_items = max(8, min(int(num_ratings * items_per_rating),
+                           NETFLIX_ITEMS))
+    users = rng.integers(0, num_users, size=num_ratings)
+    # Popular items get a disproportionate share of ratings.
+    items = np.minimum((num_items * rng.random(num_ratings) ** 2.0)
+                       .astype(np.int64), num_items - 1)
+    pairs: List[Tuple[int, int]] = list(zip(users.tolist(), items.tolist()))
+    return Ratings(num_users, num_items, pairs)

@@ -1,0 +1,615 @@
+"""GraphChi workloads: PageRank, Connected Components, ALS.
+
+These run the *actual algorithms* over synthetic datasets, modelling
+GraphChi's edge-centric, shard-based engine (Kyrola et al., OSDI 2012):
+edge records live in large shard buffers (column-style: an 8-byte value
+region in front, static structure behind), each interval is processed
+through a window buffer, and vertex values update in place.
+
+Two runtimes execute the same algorithms:
+
+* **Java** (:class:`GraphChiJavaApp`) — managed objects: vertex objects
+  in the generational heap, shards as large objects, a *fresh* window
+  buffer allocated (and zero-initialised) per interval per iteration,
+  plus per-edge wrapper temporaries (``ChiVertex``/``ChiEdge`` boxing)
+  — the three reasons the paper finds Java writes up to 3.2x more than
+  C++ in a PCM-Only system (Section VI-A).
+* **C++** (:class:`GraphChiCppApp`) — the same shards and windows via
+  ``malloc``/``free``: nothing is zeroed and nothing ever moves, but
+  temporary gather buffers come from a fragmented free list, so fresh
+  allocation scatters across the PCM heap instead of being confined to
+  a cache-resident nursery — the paper's explanation for why hybrid
+  memory favours Java (Finding 2).
+
+Heap sizes follow the paper: 512 MB Java heap, 32 MB nursery, C++ heap
+configured equal to the Java heap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from repro.config import DEFAULT_SCALE_CONFIG, MB, ScaleConfig, scaled
+from repro.native.runtime import NativeContext, NativeObj
+from repro.runtime.jvm import MutatorContext
+from repro.runtime.objectmodel import Obj
+from repro.workloads.base import BenchmarkApp
+from repro.workloads.datasets import (
+    DEFAULT_EDGES,
+    LARGE_EDGES,
+    Graph,
+    Ratings,
+    generate_graph,
+    generate_ratings,
+    scaled_count,
+)
+from repro.workloads.registry import register_benchmark
+
+GRAPHCHI_HEAP = 512 * MB
+GRAPHCHI_NURSERY = 32 * MB
+
+#: Engine intervals (sub-graphs processed through one window buffer).
+NUM_INTERVALS = 8
+#: Bytes per edge record in a shard.  GraphChi represents edges with
+#: substantial index/adjacency structure around each value; 160 B/edge
+#: matches the paper's 512 MB (2x minimum) heap for 1 M edges once
+#: scaled.
+EDGE_BYTES = 160
+#: The mutable value region per edge at the front of each shard
+#: (value + source-vertex id rewritten during the scatter phase).
+EDGE_VALUE_BYTES = 16
+#: Bytes per vertex value record.
+VERTEX_BYTES = 16
+#: Algorithm iterations per benchmark iteration.
+PR_ITERS = 3
+CC_ITERS = 3
+ALS_ITERS = 2
+#: Ops between scheduler yields.
+QUANTUM_VERTICES = 48
+
+
+#: In-memory bytes per edge record when streaming (large datasets):
+#: only values and ids stay resident, the structure remains on disk.
+STREAMING_EDGE_BYTES = 16
+#: Extra compute units per edge modelling disk I/O wait per interval
+#: when the graph does not fit in memory.  Out-of-core GraphChi runs
+#: are strongly I/O bound (Kyrola et al. report disk-limited
+#: throughput), which is why write *rates* drop when the input grows.
+STREAMING_IO_UNITS_PER_EDGE = 200
+
+
+def _edges_for(dataset: str, scale: int = 64) -> int:
+    if dataset == "default":
+        return scaled_count(DEFAULT_EDGES, scale)
+    if dataset == "large":
+        return scaled_count(LARGE_EDGES, scale)
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+# ----------------------------------------------------------------------
+# Managed (Java) versions
+# ----------------------------------------------------------------------
+class GraphChiJavaApp(BenchmarkApp):
+    """Base for the managed GraphChi applications.
+
+    ``edges`` overrides the dataset size (tests use tiny graphs); by
+    default the scaled LiveJournal/Netflix counts are used.
+    """
+
+    suite = "graphchi"
+    algorithm = "base"
+
+    def __init__(self, name: str, dataset: str = "default",
+                 seed: int = 0, edges: Optional[int] = None,
+                 scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> None:
+        super().__init__(name,
+                         heap_budget=scaled(GRAPHCHI_HEAP, scale.scale),
+                         nursery_size=scaled(GRAPHCHI_NURSERY, scale.scale),
+                         app_threads=4, seed=seed)
+        self.dataset = dataset
+        self.edges = (edges if edges is not None
+                      else _edges_for(dataset, scale.scale))
+        #: Large datasets exceed the heap: GraphChi streams shards from
+        #: disk (its whole point), shrinking the resident edge record.
+        self.streaming = dataset == "large"
+        self.edge_bytes = (STREAMING_EDGE_BYTES if self.streaming
+                           else EDGE_BYTES)
+        self._tables: List[Obj] = []
+        self._shards: List[Obj] = []
+        self._vertices: List[Obj] = []
+
+    # -- graph loading -------------------------------------------------
+    def _load_graph(self, ctx: MutatorContext) -> Graph:
+        graph = generate_graph(self.edges, seed=self.seed)
+        self.graph = graph
+        # Vertex objects, kept alive through rooted reference tables.
+        slots = 64
+        table: Optional[Obj] = None
+        for vid in range(graph.num_vertices):
+            if vid % slots == 0:
+                table = ctx.alloc(scalar_bytes=8, num_refs=slots)
+                ctx.add_root(table)
+                self._tables.append(table)
+            vertex = ctx.alloc(scalar_bytes=VERTEX_BYTES, num_refs=0)
+            ctx.write_ref(table, vid % slots, vertex)
+            self._vertices.append(vertex)
+        # Edge shards: one in-shard and one out-shard per interval —
+        # long-lived large objects (value region + static structure).
+        per_interval = -(-graph.num_edges // NUM_INTERVALS)
+        for _ in range(NUM_INTERVALS * 2):
+            shard = ctx.alloc(scalar_bytes=per_interval * self.edge_bytes,
+                              num_refs=0, large=True)
+            ctx.add_root(shard)
+            ctx.write_scalar(shard, 0, shard.scalar_bytes)  # load edge data
+            self._shards.append(shard)
+        self._edges_per_interval = per_interval
+        self._value_span = per_interval * EDGE_VALUE_BYTES
+        return graph
+
+    def _fresh_window(self, ctx: MutatorContext) -> Obj:
+        """Allocate the per-interval window buffer (dies immediately).
+
+        This is the short-lived large object the LOO optimization
+        targets: allocated every interval, dead by the next, zeroed at
+        birth like every Java array.
+        """
+        return ctx.alloc(scalar_bytes=self._value_span, num_refs=0,
+                         large=True)
+
+    def _java_vertex_temps(self, ctx: MutatorContext, degree: int) -> None:
+        """ChiVertex/ChiEdge wrapper boxing for one vertex."""
+        for _ in range(1 + degree):
+            ctx.alloc(scalar_bytes=32, num_refs=1)
+
+    def _interval_snapshot(self, ctx: MutatorContext) -> None:
+        """Engine bookkeeping retained for about one full sweep.
+
+        These survive the nursery and die in the mature space — the
+        churn behind GraphChi's frequent full-heap collections.
+        """
+        if not hasattr(self, "_snapshot_roots"):
+            self._snapshot_roots = []
+        head = ctx.alloc(scalar_bytes=16, num_refs=64)
+        for slot in range(64):
+            record = ctx.alloc(scalar_bytes=224, num_refs=0)
+            ctx.write_ref(head, slot, record)
+        self._snapshot_roots.append(ctx.add_root(head))
+        if len(self._snapshot_roots) > NUM_INTERVALS:
+            ctx.clear_root(self._snapshot_roots.pop(0))
+
+    def _interval_io(self, ctx: MutatorContext, in_shard: Obj) -> None:
+        """Streaming mode: load the interval's edges from disk.
+
+        The load writes the resident buffer and costs I/O wait; it is
+        the mechanism behind Figure 8's dropping graph write rates —
+        writes grow ~10x with the input, but I/O time grows faster.
+        """
+        if not self.streaming:
+            return
+        ctx.write_scalar(in_shard, 0, in_shard.scalar_bytes)
+        ctx.compute(self._edges_per_interval * STREAMING_IO_UNITS_PER_EDGE)
+
+    def setup(self, ctx: MutatorContext) -> None:
+        self._load_graph(ctx)
+
+
+class PageRankJavaApp(GraphChiJavaApp):
+    """PageRank: every edge broadcasts rank every iteration."""
+
+    algorithm = "pr"
+
+    def iteration(self, ctx: MutatorContext) -> Generator[None, None, None]:
+        graph = self.graph
+        vertices = self._vertices
+        per_vertex_interval = -(-graph.num_vertices // NUM_INTERVALS)
+        value_span = self._value_span
+        ops = 0
+        for _ in range(PR_ITERS):
+            for interval in range(NUM_INTERVALS):
+                in_shard = self._shards[2 * interval]
+                out_shard = self._shards[2 * interval + 1]
+                window = self._fresh_window(ctx)
+                self._interval_snapshot(ctx)
+                self._interval_io(ctx, in_shard)
+                # Gather: in-edge values stream through the window.
+                ctx.read_scalar(in_shard, 0, value_span)
+                ctx.write_scalar(window, 0, value_span)
+                ctx.compute(90 * self._edges_per_interval)
+                lo = interval * per_vertex_interval
+                hi = min(graph.num_vertices, lo + per_vertex_interval)
+                for vid in range(lo, hi):
+                    ctx.use_thread(vid)
+                    degree = len(graph.adjacency[vid])
+                    self._java_vertex_temps(ctx, degree)
+                    ctx.read_scalar(window,
+                                    ((vid - lo) * 8) % max(8, value_span - 8),
+                                    8)
+                    ctx.compute(65 + 8 * degree)
+                    ctx.write_scalar(vertices[vid], 0, 8)
+                    ops += 1
+                    if ops % QUANTUM_VERTICES == 0:
+                        yield
+                # Apply updated values to the window, then scatter the
+                # new ranks to the out-edge values.
+                ctx.write_scalar(window, 0, value_span)
+                ctx.write_scalar(out_shard, 0, value_span)
+                yield
+
+
+class ConnectedComponentsJavaApp(GraphChiJavaApp):
+    """Label propagation; writes decay as labels converge."""
+
+    algorithm = "cc"
+
+    def iteration(self, ctx: MutatorContext) -> Generator[None, None, None]:
+        graph = self.graph
+        vertices = self._vertices
+        rng = self.rng
+        per_vertex_interval = -(-graph.num_vertices // NUM_INTERVALS)
+        value_span = self._value_span
+        ops = 0
+        for sweep in range(CC_ITERS):
+            changed_fraction = max(0.15, 0.9 ** (sweep + 1))
+            for interval in range(NUM_INTERVALS):
+                in_shard = self._shards[2 * interval]
+                out_shard = self._shards[2 * interval + 1]
+                window = self._fresh_window(ctx)
+                self._interval_snapshot(ctx)
+                self._interval_io(ctx, in_shard)
+                ctx.read_scalar(in_shard, 0, value_span)
+                ctx.write_scalar(window, 0, value_span)
+                ctx.compute(90 * self._edges_per_interval)
+                changed_edges = 0
+                lo = interval * per_vertex_interval
+                hi = min(graph.num_vertices, lo + per_vertex_interval)
+                for vid in range(lo, hi):
+                    ctx.use_thread(vid)
+                    degree = len(graph.adjacency[vid])
+                    self._java_vertex_temps(ctx, degree)
+                    ctx.read_scalar(vertices[vid], 0, 8)
+                    ctx.compute(65 + 8 * degree)
+                    if rng.random() < changed_fraction:
+                        ctx.write_scalar(vertices[vid], 8, 8)
+                        changed_edges += degree
+                    ops += 1
+                    if ops % QUANTUM_VERTICES == 0:
+                        yield
+                # Only changed labels propagate to the out-shard values.
+                span = min(value_span, changed_edges * EDGE_VALUE_BYTES)
+                if span:
+                    ctx.write_scalar(window, 0, span)
+                    ctx.write_scalar(out_shard, 0, span)
+                yield
+
+
+class AlsJavaApp(GraphChiJavaApp):
+    """ALS matrix factorisation over a bipartite rating graph."""
+
+    algorithm = "als"
+    FACTOR_BYTES = 128  # 32 floats per latent-factor vector
+
+    def setup(self, ctx: MutatorContext) -> None:
+        ratings = generate_ratings(self.edges, seed=self.seed)
+        self.ratings = ratings
+        slots = 64
+        self._users: List[Obj] = []
+        self._items: List[Obj] = []
+        table: Optional[Obj] = None
+        for index in range(ratings.num_users + ratings.num_items):
+            if index % slots == 0:
+                table = ctx.alloc(scalar_bytes=8, num_refs=slots)
+                ctx.add_root(table)
+                self._tables.append(table)
+            factor = ctx.alloc(scalar_bytes=self.FACTOR_BYTES, num_refs=0)
+            ctx.write_ref(table, index % slots, factor)
+            if index < ratings.num_users:
+                self._users.append(factor)
+            else:
+                self._items.append(factor)
+        # Rating shards (the training set on "disk").
+        per_interval = -(-ratings.num_ratings // NUM_INTERVALS)
+        for _ in range(NUM_INTERVALS):
+            shard = ctx.alloc(scalar_bytes=per_interval * self.edge_bytes,
+                              num_refs=0, large=True)
+            ctx.add_root(shard)
+            ctx.write_scalar(shard, 0, shard.scalar_bytes)
+            self._shards.append(shard)
+        self._edges_per_interval = per_interval
+        self._value_span = per_interval * EDGE_VALUE_BYTES
+
+    def iteration(self, ctx: MutatorContext) -> Generator[None, None, None]:
+        ratings = self.ratings
+        users, items = self._users, self._items
+        per_interval = self._edges_per_interval
+        fb = self.FACTOR_BYTES
+        ops = 0
+        for _ in range(ALS_ITERS):
+            for interval in range(NUM_INTERVALS):
+                shard = self._shards[interval]
+                self._interval_snapshot(ctx)
+                self._interval_io(ctx, shard)
+                ctx.read_scalar(shard, 0, self._value_span)
+                lo = interval * per_interval
+                hi = min(ratings.num_ratings, lo + per_interval)
+                for rating_index in range(lo, hi):
+                    user_id, item_id = ratings.pairs[rating_index]
+                    ctx.use_thread(rating_index)
+                    user = users[user_id]
+                    item = items[item_id]
+                    # Java temporaries: normal-equation scratch matrix.
+                    ctx.alloc(scalar_bytes=48, num_refs=0)
+                    ctx.read_scalar(user, 0, fb)
+                    ctx.read_scalar(item, 0, fb)
+                    ctx.compute(250)
+                    ctx.write_scalar(user, 0, fb)
+                    ctx.write_scalar(item, 0, fb)
+                    ops += 1
+                    if ops % QUANTUM_VERTICES == 0:
+                        yield
+                yield
+
+
+# ----------------------------------------------------------------------
+# Native (C++) versions
+# ----------------------------------------------------------------------
+class GraphChiCppApp(BenchmarkApp):
+    """Base for the manually-managed GraphChi applications."""
+
+    suite = "graphchi-cpp"
+    runtime = "native"
+    algorithm = "base"
+
+    #: Transient blocks interleaved with the persistent structures at
+    #: load time, then partially freed: the fragmentation that makes
+    #: later mallocs scatter across the heap.
+    FRAGMENTATION_BLOCKS = 384
+
+    def __init__(self, name: str, dataset: str = "default",
+                 seed: int = 0, edges: Optional[int] = None,
+                 scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> None:
+        super().__init__(name,
+                         heap_budget=scaled(GRAPHCHI_HEAP, scale.scale),
+                         nursery_size=scaled(GRAPHCHI_NURSERY, scale.scale),
+                         app_threads=4, seed=seed)
+        self.dataset = dataset
+        self.edges = (edges if edges is not None
+                      else _edges_for(dataset, scale.scale))
+        self.streaming = dataset == "large"
+        self.edge_bytes = (STREAMING_EDGE_BYTES if self.streaming
+                           else EDGE_BYTES)
+        self._shards: List[NativeObj] = []
+        self._temp_fifo: List[NativeObj] = []
+
+    def _fragment_heap(self, ctx: NativeContext) -> None:
+        """Load-time churn leaves holes all over the heap."""
+        rng = self.rng
+        blocks = [ctx.malloc(rng.choice((64, 96, 160, 256, 512)))
+                  for _ in range(self.FRAGMENTATION_BLOCKS)]
+        for index, block in enumerate(blocks):
+            if index % 2 == 0:
+                ctx.free(block)
+
+    #: Per-vertex buffers live until the engine finishes the current
+    #: batch, so their lifetimes overlap and the allocator's roving
+    #: pointer keeps walking forward across the heap instead of
+    #: ping-ponging on a single hole.
+    TEMP_BATCH = 64
+
+    def _temp_buffer(self, ctx: NativeContext, degree: int) -> None:
+        """Per-vertex gather buffer: malloc, fill, update, batched free.
+
+        Sizes vary with degree and lifetimes overlap, so consecutive
+        buffers land at different addresses — fresh allocation scatters
+        across the PCM heap instead of staying cache-resident, exactly
+        the paper's contrast with Java's bump-pointer nursery.
+        """
+        size = 16 + min(degree, 256) * 8
+        tmp = ctx.malloc(size)
+        ctx.write_all(tmp)   # gather into the buffer
+        ctx.write_all(tmp)   # apply updates in place
+        self._temp_fifo.append(tmp)
+        if len(self._temp_fifo) > self.TEMP_BATCH:
+            ctx.free(self._temp_fifo.pop(0))
+
+    def _interval_snapshot(self, ctx: NativeContext) -> None:
+        """Engine bookkeeping retained for about one full sweep.
+
+        Live for a whole sweep, these records keep the roving allocator
+        walking forward, spreading writes across the heap.
+        """
+        if not hasattr(self, "_snapshot_fifo"):
+            self._snapshot_fifo = []
+        records = [ctx.malloc(224) for _ in range(64)]
+        for record in records:
+            ctx.write_all(record)
+        self._snapshot_fifo.append(records)
+        if len(self._snapshot_fifo) > NUM_INTERVALS:
+            for record in self._snapshot_fifo.pop(0):
+                ctx.free(record)
+
+    def _load_graph(self, ctx: NativeContext) -> Graph:
+        graph = generate_graph(self.edges, seed=self.seed)
+        self.graph = graph
+        per_interval = -(-graph.num_edges // NUM_INTERVALS)
+        # Vertex value array (written once at load).
+        self._vertex_data = ctx.malloc(graph.num_vertices * VERTEX_BYTES)
+        ctx.write_all(self._vertex_data)
+        self._fragment_heap(ctx)
+        for _ in range(NUM_INTERVALS * 2):
+            shard = ctx.malloc(per_interval * self.edge_bytes)
+            ctx.write_all(shard)  # explicit fill, not zeroing
+            self._shards.append(shard)
+        self._edges_per_interval = per_interval
+        self._value_span = per_interval * EDGE_VALUE_BYTES
+        return graph
+
+    def _interval_io(self, ctx: NativeContext,
+                     in_shard: NativeObj) -> None:
+        """Streaming mode: load the interval's edges from disk."""
+        if not self.streaming:
+            return
+        ctx.write_all(in_shard)
+        ctx.compute(self._edges_per_interval * STREAMING_IO_UNITS_PER_EDGE)
+
+    def setup(self, ctx: NativeContext) -> None:
+        self._load_graph(ctx)
+
+
+class PageRankCppApp(GraphChiCppApp):
+    algorithm = "pr"
+
+    def iteration(self, ctx: NativeContext) -> Generator[None, None, None]:
+        graph = self.graph
+        per_vertex_interval = -(-graph.num_vertices // NUM_INTERVALS)
+        value_span = self._value_span
+        ops = 0
+        for _ in range(PR_ITERS):
+            for interval in range(NUM_INTERVALS):
+                in_shard = self._shards[2 * interval]
+                out_shard = self._shards[2 * interval + 1]
+                window = ctx.malloc(value_span)
+                self._interval_snapshot(ctx)
+                self._interval_io(ctx, in_shard)
+                ctx.read(in_shard, 0, value_span)
+                ctx.write(window, 0, value_span)  # fill, no zeroing first
+                ctx.compute(90 * self._edges_per_interval)
+                lo = interval * per_vertex_interval
+                hi = min(graph.num_vertices, lo + per_vertex_interval)
+                for vid in range(lo, hi):
+                    ctx.use_thread(vid)
+                    degree = len(graph.adjacency[vid])
+                    self._temp_buffer(ctx, degree)
+                    ctx.read(window, ((vid - lo) * 8) % max(8, value_span - 8),
+                             8)
+                    ctx.compute(65 + 8 * degree)
+                    ctx.write(self._vertex_data, vid * VERTEX_BYTES, 8)
+                    ops += 1
+                    if ops % QUANTUM_VERTICES == 0:
+                        yield
+                ctx.write(window, 0, value_span)  # apply updates
+                ctx.write(out_shard, 0, value_span)
+                ctx.free(window)
+                yield
+
+
+class ConnectedComponentsCppApp(GraphChiCppApp):
+    algorithm = "cc"
+
+    def iteration(self, ctx: NativeContext) -> Generator[None, None, None]:
+        graph = self.graph
+        rng = self.rng
+        per_vertex_interval = -(-graph.num_vertices // NUM_INTERVALS)
+        value_span = self._value_span
+        ops = 0
+        for sweep in range(CC_ITERS):
+            changed_fraction = max(0.15, 0.9 ** (sweep + 1))
+            for interval in range(NUM_INTERVALS):
+                in_shard = self._shards[2 * interval]
+                out_shard = self._shards[2 * interval + 1]
+                window = ctx.malloc(value_span)
+                self._interval_snapshot(ctx)
+                self._interval_io(ctx, in_shard)
+                ctx.read(in_shard, 0, value_span)
+                ctx.write(window, 0, value_span)
+                ctx.compute(90 * self._edges_per_interval)
+                changed_edges = 0
+                lo = interval * per_vertex_interval
+                hi = min(graph.num_vertices, lo + per_vertex_interval)
+                for vid in range(lo, hi):
+                    ctx.use_thread(vid)
+                    degree = len(graph.adjacency[vid])
+                    self._temp_buffer(ctx, degree)
+                    ctx.read(self._vertex_data, vid * VERTEX_BYTES, 8)
+                    ctx.compute(65 + 8 * degree)
+                    if rng.random() < changed_fraction:
+                        ctx.write(self._vertex_data, vid * VERTEX_BYTES + 8, 8)
+                        changed_edges += degree
+                    ops += 1
+                    if ops % QUANTUM_VERTICES == 0:
+                        yield
+                span = min(value_span, changed_edges * EDGE_VALUE_BYTES)
+                if span:
+                    ctx.write(window, 0, span)
+                    ctx.write(out_shard, 0, span)
+                ctx.free(window)
+                yield
+
+
+class AlsCppApp(GraphChiCppApp):
+    algorithm = "als"
+    FACTOR_BYTES = 128
+
+    def setup(self, ctx: NativeContext) -> None:
+        ratings = generate_ratings(self.edges, seed=self.seed)
+        self.ratings = ratings
+        self._user_factors = ctx.malloc(
+            ratings.num_users * self.FACTOR_BYTES)
+        self._item_factors = ctx.malloc(
+            ratings.num_items * self.FACTOR_BYTES)
+        ctx.write_all(self._user_factors)
+        ctx.write_all(self._item_factors)
+        self._fragment_heap(ctx)
+        per_interval = -(-ratings.num_ratings // NUM_INTERVALS)
+        for _ in range(NUM_INTERVALS):
+            shard = ctx.malloc(per_interval * self.edge_bytes)
+            ctx.write_all(shard)
+            self._shards.append(shard)
+        self._edges_per_interval = per_interval
+        self._value_span = per_interval * EDGE_VALUE_BYTES
+
+    def iteration(self, ctx: NativeContext) -> Generator[None, None, None]:
+        ratings = self.ratings
+        per_interval = self._edges_per_interval
+        fb = self.FACTOR_BYTES
+        ops = 0
+        for _ in range(ALS_ITERS):
+            for interval in range(NUM_INTERVALS):
+                shard = self._shards[interval]
+                self._interval_snapshot(ctx)
+                self._interval_io(ctx, shard)
+                ctx.read(shard, 0, self._value_span)
+                lo = interval * per_interval
+                hi = min(ratings.num_ratings, lo + per_interval)
+                for rating_index in range(lo, hi):
+                    user_id, item_id = ratings.pairs[rating_index]
+                    ctx.use_thread(rating_index)
+                    ctx.read(self._user_factors, user_id * fb, fb)
+                    ctx.read(self._item_factors, item_id * fb, fb)
+                    ctx.compute(250)
+                    ctx.write(self._user_factors, user_id * fb, fb)
+                    ctx.write(self._item_factors, item_id * fb, fb)
+                    ops += 1
+                    if ops % QUANTUM_VERTICES == 0:
+                        yield
+                yield
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+_JAVA_APPS = {
+    "pr": PageRankJavaApp,
+    "cc": ConnectedComponentsJavaApp,
+    "als": AlsJavaApp,
+}
+_CPP_APPS = {
+    "pr.cpp": PageRankCppApp,
+    "cc.cpp": ConnectedComponentsCppApp,
+    "als.cpp": AlsCppApp,
+}
+
+
+def _make_factory(name: str, cls):
+    def factory(instance_index: int = 0, dataset: str = "default",
+                scale: ScaleConfig = DEFAULT_SCALE_CONFIG):
+        return cls(name, dataset=dataset,
+                   seed=4099 * (instance_index + 1) + hash(name) % 997,
+                   scale=scale)
+    return factory
+
+
+for _name, _cls in _JAVA_APPS.items():
+    register_benchmark(_name, "graphchi", _make_factory(_name, _cls))
+for _name, _cls in _CPP_APPS.items():
+    register_benchmark(_name, "graphchi-cpp", _make_factory(_name, _cls))

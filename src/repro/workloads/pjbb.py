@@ -1,0 +1,63 @@
+"""pseudojbb2005 (Pjbb): the fixed-workload SPECjbb2005 variant.
+
+Pjbb models a three-tier order-processing system: warehouses with
+districts hold long-lived inventory, and each transaction allocates
+order/order-line objects, a slice of which are retained in order
+tables.  Relative to DaCapo it has a larger heap (the paper reports
+400 MB average), higher survival, and roughly twice the PCM writes of
+an average DaCapo benchmark (Figure 5a).
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_SCALE_CONFIG, MB, ScaleConfig, scaled
+from repro.workloads.base import SyntheticApp, WorkloadProfile
+from repro.workloads.registry import register_benchmark
+
+PJBB_HEAP = 400 * MB
+
+_PJBB_PROFILE = WorkloadProfile(
+    ops=20_000,
+    alloc_per_op=2.0,          # order + order-line objects per transaction
+    small_sizes=(32, 48, 64, 96, 128),
+    small_refs=(0, 1, 2, 4),
+    survival_rate=0.12,        # retained orders
+    live_fraction=0.45,        # warehouses x districts x order tables
+    table_slots=48,
+    writes_per_op=0.7,         # stock levels, balances, order status
+    reads_per_op=5.0,
+    hot_write_fraction=0.85,   # district-level hot spots
+    hot_table_fraction=0.04,
+    large_alloc_per_op=0.0008,  # report buffers
+    large_sizes=(8 * 1024, 16 * 1024),
+    large_survival=0.3,
+    compute_per_op=150,
+)
+
+
+class PjbbApp(SyntheticApp):
+    """One Pjbb instance (four warehouses, four driver threads)."""
+
+    def __init__(self, dataset: str = "default", seed: int = 0,
+                 scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> None:
+        if dataset not in ("default", "large"):
+            raise ValueError(f"unknown dataset {dataset!r}")
+        profile = _PJBB_PROFILE
+        heap = PJBB_HEAP
+        if dataset == "large":
+            from dataclasses import replace
+            profile = replace(profile, ops=int(profile.ops * 3))
+            heap = int(heap * 1.5)
+        super().__init__("pjbb", "pjbb", profile,
+                         heap_budget=scaled(heap, scale.scale),
+                         nursery_size=scaled(4 * MB, scale.scale),
+                         app_threads=4, seed=seed)
+        self.dataset = dataset
+
+
+def _factory(instance_index: int = 0, dataset: str = "default",
+             scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> PjbbApp:
+    return PjbbApp(dataset, seed=2017 * (instance_index + 1), scale=scale)
+
+
+register_benchmark("pjbb", "pjbb", _factory)

@@ -1,0 +1,86 @@
+"""Benchmark registry: look up factories by name and suite.
+
+Filled in by :mod:`repro.workloads.dacapo`, :mod:`repro.workloads.pjbb`
+and :mod:`repro.workloads.graphchi`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import BenchmarkApp
+
+#: name -> factory(instance_index, dataset) -> BenchmarkApp
+_REGISTRY: Dict[str, Callable[..., BenchmarkApp]] = {}
+_SUITES: Dict[str, List[str]] = {}
+
+
+def register_benchmark(name: str, suite: str,
+                       factory: Callable[..., BenchmarkApp]) -> None:
+    """Register a benchmark factory under ``name`` in ``suite``."""
+    if name in _REGISTRY:
+        raise ValueError(f"benchmark {name!r} already registered")
+    _REGISTRY[name] = factory
+    _SUITES.setdefault(suite, []).append(name)
+
+
+def benchmark_factory(name: str) -> Callable[..., BenchmarkApp]:
+    """Factory for ``name``: call with (instance_index, dataset=...)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"known: {sorted(_REGISTRY)}") from None
+
+
+def benchmarks_in_suite(suite: str) -> List[str]:
+    _ensure_loaded()
+    return list(_SUITES.get(suite, []))
+
+
+def _ensure_loaded() -> None:
+    # Import the suite modules lazily so registration happens on first
+    # lookup without import cycles.
+    import repro.workloads.dacapo  # noqa: F401
+    import repro.workloads.graphchi  # noqa: F401
+    import repro.workloads.pjbb  # noqa: F401
+
+
+def _all_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+class _LazyNames:
+    """List-like view that loads the suite modules on first use."""
+
+    def __init__(self, suite: str = "") -> None:
+        self._suite = suite
+
+    def _names(self) -> List[str]:
+        _ensure_loaded()
+        if self._suite:
+            return list(_SUITES.get(self._suite, []))
+        return sorted(_REGISTRY)
+
+    def __iter__(self):
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(self._names())
+
+
+ALL_BENCHMARKS = _LazyNames()
+DACAPO_BENCHMARKS = _LazyNames("dacapo")
+GRAPHCHI_BENCHMARKS = _LazyNames("graphchi")
+SUITES = ("dacapo", "pjbb", "graphchi")

@@ -1,0 +1,70 @@
+"""Shared fixtures: small machines and VMs sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KB, LatencyModel, MB, ScaleConfig
+from repro.core.collectors import create_collector
+from repro.kernel.vm import Kernel
+from repro.machine.cache import CacheLevel
+from repro.machine.memory import MemoryNode
+from repro.machine.numa import NumaMachine, Socket
+from repro.runtime.jvm import JavaVM
+
+#: Aggressive scaling for unit tests: 4 MB nursery -> 16 KB.
+TEST_SCALE = ScaleConfig(scale=256)
+
+
+def build_test_machine(llc_size: int = 64 * KB, llc_assoc: int = 8,
+                       node_capacity: int = 16 * MB,
+                       private_l2: int = 0) -> NumaMachine:
+    """A small two-socket machine for unit tests."""
+    sockets = []
+    for socket_id in range(2):
+        llc = CacheLevel(llc_size, llc_assoc, name=f"LLC{socket_id}")
+        memory = MemoryNode(socket_id, node_capacity,
+                            "DRAM" if socket_id == 0 else "PCM")
+        sockets.append(Socket(socket_id, llc, memory, cores=4))
+    machine = NumaMachine(sockets, LatencyModel())
+    if private_l2:
+        machine.private_cache_factory = lambda: CacheLevel(
+            private_l2, 4, name="L2")
+    return machine
+
+
+def build_test_vm(collector: str = "KG-W", nursery: int = 16 * KB,
+                  heap_budget: int = 512 * KB,
+                  machine: NumaMachine = None) -> JavaVM:
+    """A small managed VM for collector/runtime tests."""
+    machine = machine or build_test_machine()
+    kernel = Kernel(machine)
+    return JavaVM(kernel, create_collector(collector),
+                  heap_budget=heap_budget, nursery_size=nursery,
+                  app_threads=2, gc_threads=2, scale=TEST_SCALE,
+                  boot_noise_rate=0.0, seed=7)
+
+
+@pytest.fixture
+def machine() -> NumaMachine:
+    return build_test_machine()
+
+
+@pytest.fixture
+def kernel(machine) -> Kernel:
+    return Kernel(machine)
+
+
+@pytest.fixture
+def vm() -> JavaVM:
+    return build_test_vm()
+
+
+@pytest.fixture
+def pcm_only_vm() -> JavaVM:
+    return build_test_vm("PCM-Only")
+
+
+@pytest.fixture
+def kgn_vm() -> JavaVM:
+    return build_test_vm("KG-N")

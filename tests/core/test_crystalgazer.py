@@ -1,0 +1,99 @@
+"""Tests for the Crystal Gazer profile-driven collector (extension)."""
+
+import pytest
+
+from repro.core.collectors import (
+    CrystalGazerCollector,
+    WriteProfile,
+    collector_config,
+    create_collector,
+)
+
+from tests.conftest import build_test_vm
+
+
+class TestConfig:
+    def test_layout_is_kgw_without_observer(self):
+        config = collector_config("KG-CG")
+        assert not config.has_observer
+        assert config.dram_mature and config.dram_los
+        assert config.mdo and config.loo
+
+    def test_factory(self):
+        assert isinstance(create_collector("KG-CG"), CrystalGazerCollector)
+
+
+class TestWriteProfile:
+    def test_context_key_buckets(self):
+        profile = WriteProfile()
+        assert profile.context_key(40, 2, False) == \
+            profile.context_key(50, 2, False)
+        assert profile.context_key(40, 2, False) != \
+            profile.context_key(400, 2, False)
+
+    def test_writes_per_object(self):
+        profile = WriteProfile()
+
+        class FakeObj:
+            context = (1, 0, False)
+        obj = FakeObj()
+        profile.allocations[obj.context] = 4
+        profile.note_write(obj)
+        profile.note_write(obj)
+        assert profile.writes_per_object(obj.context) == 0.5
+        assert profile.predicts_written(obj)
+
+    def test_unknown_context_not_predicted(self):
+        profile = WriteProfile()
+
+        class FakeObj:
+            context = None
+        assert not profile.predicts_written(FakeObj())
+
+
+class TestCollectorBehaviour:
+    def test_vm_attaches_profiler(self):
+        vm = build_test_vm("KG-CG")
+        assert vm.write_profiler is vm.collector.profile
+        assert not vm.monitoring_overhead  # no online monitoring cost
+
+    def test_allocations_are_tagged(self):
+        vm = build_test_vm("KG-CG")
+        ctx = vm.mutator()
+        obj = ctx.alloc(scalar_bytes=64, num_refs=1)
+        assert obj.context is not None
+        assert vm.collector.profile.allocations[obj.context] >= 1
+
+    def test_written_context_tenures_to_dram(self):
+        vm = build_test_vm("KG-CG")
+        ctx = vm.mutator()
+        # Train the profile: objects of this shape get written a lot.
+        for _ in range(20):
+            hot = ctx.alloc(scalar_bytes=200, num_refs=0)
+            for _ in range(3):
+                ctx.write_scalar(hot)
+        survivor = ctx.alloc(scalar_bytes=200, num_refs=0)
+        ctx.add_root(survivor)
+        vm.minor_collect()
+        assert survivor.space == "mature.dram"
+
+    def test_unwritten_context_tenures_to_pcm(self):
+        vm = build_test_vm("KG-CG")
+        ctx = vm.mutator()
+        for _ in range(20):
+            ctx.alloc(scalar_bytes=48, num_refs=0)  # never written
+        survivor = ctx.alloc(scalar_bytes=48, num_refs=0)
+        ctx.add_root(survivor)
+        vm.minor_collect()
+        assert survivor.space == "mature.pcm"
+
+    def test_prediction_adapts_to_profile(self):
+        vm = build_test_vm("KG-CG")
+        ctx = vm.mutator()
+        profile = vm.collector.profile
+        cold = ctx.alloc(scalar_bytes=48)
+        assert not profile.predicts_written(cold)
+        for _ in range(2):
+            ctx.write_scalar(cold)
+        again = ctx.alloc(scalar_bytes=48)
+        assert profile.predicts_written(again)

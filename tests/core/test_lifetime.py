@@ -1,0 +1,66 @@
+"""Tests for the PCM lifetime model (Equation 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import GB
+from repro.core.lifetime import (
+    PCM_ENDURANCE_LEVELS,
+    pcm_lifetime_years,
+    worst_case_lifetime,
+)
+
+
+class TestEquation:
+    def test_known_value(self):
+        # 32 GB, 10M writes/cell, perfect wear-levelling, 450 MB/s
+        # (the paper's worst-case PCM-Only graph write rates give ~10
+        # years at 50% efficiency).
+        years = pcm_lifetime_years(450.0, 10e6)
+        assert years == pytest.approx(11.4, rel=0.05)
+
+    def test_zero_rate_is_infinite(self):
+        assert math.isinf(pcm_lifetime_years(0.0))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            pcm_lifetime_years(-1.0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            pcm_lifetime_years(100.0, wear_leveling_efficiency=0.0)
+        with pytest.raises(ValueError):
+            pcm_lifetime_years(100.0, wear_leveling_efficiency=1.5)
+
+    def test_endurance_levels_table(self):
+        assert len(PCM_ENDURANCE_LEVELS) == 3
+        assert sorted(PCM_ENDURANCE_LEVELS.values()) == [10e6, 30e6, 50e6]
+
+
+class TestScaling:
+    @given(st.floats(1.0, 1e4))
+    def test_lifetime_inversely_proportional_to_rate(self, rate):
+        assert pcm_lifetime_years(rate) == pytest.approx(
+            pcm_lifetime_years(2 * rate) * 2)
+
+    @given(st.floats(1.0, 1e4))
+    def test_lifetime_proportional_to_endurance(self, rate):
+        assert pcm_lifetime_years(rate, 50e6) == pytest.approx(
+            5 * pcm_lifetime_years(rate, 10e6))
+
+    def test_larger_device_lasts_longer(self):
+        assert pcm_lifetime_years(100, pcm_bytes=64 * GB) == pytest.approx(
+            2 * pcm_lifetime_years(100, pcm_bytes=32 * GB))
+
+
+class TestWorstCase:
+    def test_takes_maximum_rate(self):
+        assert worst_case_lifetime([10.0, 200.0, 50.0]) == \
+            pcm_lifetime_years(200.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_lifetime([])

@@ -1,0 +1,56 @@
+"""Tests for the write-rate monitor."""
+
+import pytest
+
+from repro.core.monitor import WriteRateMonitor
+from repro.kernel.vm import Kernel
+
+from tests.conftest import build_test_machine
+
+
+@pytest.fixture
+def monitor(kernel):
+    return WriteRateMonitor(kernel)
+
+
+class TestSampling:
+    def test_sample_records_counters(self, monitor, kernel):
+        kernel.machine.nodes[1].record_write(0)
+        sample = monitor.sample(round_index=1)
+        assert sample.node_writes[1] == 1
+        assert len(monitor.samples) == 1
+
+    def test_monitor_generates_dram_noise(self, monitor, kernel):
+        for index in range(20):
+            monitor.sample(index)
+        kernel.machine.flush_all([monitor.thread.core_path])
+        # The monitor runs on socket 0 and writes only there.
+        assert kernel.machine.nodes[0].writes_by_tag.get("monitor", 0) > 0
+        assert "monitor" not in kernel.machine.nodes[1].writes_by_tag
+
+    def test_reset_clears_samples(self, monitor):
+        monitor.sample(0)
+        monitor.reset()
+        assert monitor.samples == []
+
+
+class TestRateSeries:
+    def test_series_from_samples(self, monitor, kernel):
+        node = kernel.machine.nodes[1]
+        monitor.sample(0)
+        for _ in range(100):
+            node.record_write(0)
+        monitor.sample(10)
+        rates = monitor.write_rate_series(cycles_per_round=1_000_000,
+                                          frequency_hz=1_000_000_000)
+        assert len(rates) == 1
+        # 100 lines * 64 B over 10 ms = 0.64 MB/s.
+        assert rates[0] == pytest.approx(0.64)
+
+    def test_empty_series(self, monitor):
+        assert monitor.write_rate_series(1000, 1e9) == []
+
+    def test_shutdown_releases_buffer(self, kernel):
+        monitor = WriteRateMonitor(kernel)
+        monitor.shutdown()
+        assert kernel.machine.nodes[0].frames_in_use == 0

@@ -1,0 +1,141 @@
+"""Tests for the emulation platform and its measurement protocol."""
+
+import pytest
+
+from repro.config import MB, scaled
+from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.workloads.base import SyntheticApp, WorkloadProfile
+
+
+def tiny_factory(ops=3000, **profile_kwargs):
+    profile = WorkloadProfile(ops=ops, **profile_kwargs)
+
+    def factory(index):
+        return SyntheticApp("tiny", "dacapo", profile,
+                            heap_budget=scaled(64 * MB),
+                            nursery_size=scaled(4 * MB),
+                            seed=31 + index)
+    return factory
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return HybridMemoryPlatform(EmulationMode.EMULATION)
+
+
+class TestRun:
+    def test_basic_run_produces_writes(self, platform):
+        result = platform.run(tiny_factory(), collector="PCM-Only")
+        assert result.pcm_write_lines > 0
+        assert result.dram_write_lines == 0  # heap and threads on PCM
+        assert result.elapsed_seconds > 0
+        assert result.benchmark == "tiny"
+
+    def test_kgn_shifts_writes_to_dram(self, platform):
+        result = platform.run(tiny_factory(alloc_per_op=3.0),
+                              collector="KG-N")
+        assert result.dram_write_lines > 0
+
+    def test_instance_stats_reported(self, platform):
+        result = platform.run(tiny_factory(), collector="KG-N")
+        assert len(result.instance_stats) == 1
+        assert result.instance_stats[0].objects_allocated > 0
+
+    def test_multi_instance(self, platform):
+        result = platform.run(tiny_factory(), collector="PCM-Only",
+                              instances=2)
+        assert result.instances == 2
+        assert len(result.instance_stats) == 2
+
+    def test_multiprogramming_increases_writes(self, platform):
+        one = platform.run(tiny_factory(), collector="PCM-Only")
+        two = platform.run(tiny_factory(), collector="PCM-Only",
+                           instances=2)
+        assert two.pcm_write_lines > one.pcm_write_lines
+
+    def test_zero_instances_rejected(self, platform):
+        with pytest.raises(ValueError):
+            platform.run(tiny_factory(), instances=0)
+
+    def test_result_properties(self, platform):
+        result = platform.run(tiny_factory(), collector="PCM-Only")
+        assert result.pcm_write_bytes == 64 * result.pcm_write_lines
+        assert result.total_write_lines == (result.pcm_write_lines
+                                            + result.dram_write_lines)
+        assert "tiny" in result.describe()
+
+
+class TestModes:
+    def test_simulation_mode_has_no_monitor_noise(self):
+        sim = HybridMemoryPlatform(EmulationMode.SIMULATION)
+        result = sim.run(tiny_factory(), collector="KG-N")
+        assert result.monitor_rates_mbs == []
+        assert "monitor" not in result.per_tag_dram_writes
+
+    def test_emulation_mode_reports_monitor_series(self):
+        emu = HybridMemoryPlatform(EmulationMode.EMULATION,
+                                   monitor_interval_rounds=2)
+        result = emu.run(tiny_factory(), collector="KG-N")
+        assert result.monitor_rates_mbs
+
+    def test_modes_agree_on_trend(self):
+        emu = HybridMemoryPlatform(EmulationMode.EMULATION)
+        sim = HybridMemoryPlatform(EmulationMode.SIMULATION)
+        factory = tiny_factory(ops=6000, alloc_per_op=2.5)
+        emu_red = (emu.run(factory, "PCM-Only").pcm_write_lines
+                   - emu.run(factory, "KG-W").pcm_write_lines)
+        sim_red = (sim.run(factory, "PCM-Only").pcm_write_lines
+                   - sim.run(factory, "KG-W").pcm_write_lines)
+        assert emu_red > 0 and sim_red > 0
+
+    def test_llc_override(self):
+        small_llc = HybridMemoryPlatform(EmulationMode.SIMULATION,
+                                         llc_size_override=64 * 1024)
+        default = HybridMemoryPlatform(EmulationMode.SIMULATION)
+        factory = tiny_factory()
+        more = small_llc.run(factory, "PCM-Only").pcm_write_lines
+        fewer = default.run(factory, "PCM-Only").pcm_write_lines
+        assert more > fewer  # smaller LLC absorbs fewer writes
+
+
+class TestNative:
+    def test_native_apps_require_pcm_only(self):
+        from repro.workloads.registry import benchmark_factory
+        platform = HybridMemoryPlatform(EmulationMode.EMULATION)
+        with pytest.raises(ValueError):
+            platform.run(benchmark_factory("pr.cpp"), collector="KG-N")
+
+    def test_heap_budget_carving(self, platform):
+        # KG-B's 3x nursery comes out of the same total heap.
+        result = platform.run(tiny_factory(), collector="KG-B")
+        assert result.pcm_write_lines >= 0  # runs without OOM
+
+
+class TestWearTracking:
+    def test_wear_fields_absent_by_default(self, platform):
+        result = platform.run(tiny_factory(), collector="PCM-Only")
+        assert result.wear_efficiency is None
+        assert result.wear_imbalance is None
+
+    def test_wear_fields_present_when_tracking(self):
+        tracking = HybridMemoryPlatform(EmulationMode.EMULATION,
+                                        track_wear=True)
+        result = tracking.run(tiny_factory(), collector="PCM-Only")
+        assert result.wear_imbalance >= 1.0
+        assert 0.0 < result.wear_efficiency <= 1.0
+
+
+class TestScalePlumbing:
+    def test_platform_scale_reaches_registry_apps(self):
+        from repro.config import ScaleConfig
+        from repro.workloads.registry import benchmark_factory
+        small = HybridMemoryPlatform(EmulationMode.SIMULATION,
+                                     scale=ScaleConfig(scale=256))
+        result = small.run(benchmark_factory("fop"), collector="KG-N")
+        assert result.pcm_write_lines >= 0
+
+    def test_plain_factories_still_work(self):
+        # Factories without a scale parameter are called without one.
+        platform = HybridMemoryPlatform(EmulationMode.SIMULATION)
+        result = platform.run(tiny_factory(), collector="KG-N")
+        assert result.benchmark == "tiny"

@@ -1,0 +1,51 @@
+"""Tests for the caching experiment runner."""
+
+import pytest
+
+from repro.core.platform import EmulationMode
+from repro.harness.experiment import ExperimentRunner, RunKey
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestCaching:
+    def test_identical_runs_are_cached(self, runner):
+        first = runner.run("fop", "PCM-Only")
+        count = runner.runs_executed
+        second = runner.run("fop", "PCM-Only")
+        assert first is second
+        assert runner.runs_executed == count
+
+    def test_different_collector_not_cached(self, runner):
+        runner.run("fop", "PCM-Only")
+        count = runner.runs_executed
+        runner.run("fop", "KG-N")
+        assert runner.runs_executed == count + 1
+
+    def test_mode_is_part_of_key(self, runner):
+        runner.run("fop", "PCM-Only")
+        count = runner.runs_executed
+        runner.run("fop", "PCM-Only", mode=EmulationMode.SIMULATION)
+        assert runner.runs_executed == count + 1
+
+    def test_key_equality(self):
+        a = RunKey("x", "KG-N", 1, "default", EmulationMode.EMULATION)
+        b = RunKey("x", "KG-N", 1, "default", EmulationMode.EMULATION)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestHelpers:
+    def test_pcm_writes_shortcut(self, runner):
+        assert runner.pcm_writes("fop") == \
+            runner.run("fop").pcm_write_lines
+
+    def test_write_rate_shortcut(self, runner):
+        assert runner.write_rate("fop") == \
+            runner.run("fop").pcm_write_rate_mbs
+
+    def test_suite_average(self, runner):
+        value = runner.suite_average_writes(["fop"])
+        assert value == runner.pcm_writes("fop")

@@ -1,0 +1,57 @@
+"""Tests for the metric helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.metrics import (
+    average,
+    geomean,
+    normalize,
+    percent_reduction,
+)
+
+
+class TestAverage:
+    def test_mean(self):
+        assert average([1, 2, 3]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average([])
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1, 0])
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        result = geomean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestPercentReduction:
+    def test_paper_number(self):
+        assert percent_reduction(100, 38) == pytest.approx(62.0)
+
+    def test_increase_is_negative(self):
+        assert percent_reduction(100, 150) == pytest.approx(-50.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            percent_reduction(0, 10)
+
+
+class TestNormalize:
+    def test_baseline_becomes_one(self):
+        result = normalize({"a": 10, "b": 5}, "a")
+        assert result == {"a": 1.0, "b": 0.5}
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0, "b": 5}, "a")

@@ -1,0 +1,41 @@
+"""Tests for the ASCII table renderers."""
+
+import pytest
+
+from repro.harness.tables import format_table, render_series
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_series_as_rows(self):
+        text = render_series({"KG-N": {"PR": 0.5, "CC": 0.4},
+                              "KG-W": {"PR": 0.2, "CC": 0.1}})
+        assert "KG-N" in text and "PR" in text and "0.50" in text
+
+    def test_missing_values_dashed(self):
+        text = render_series({"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "-" in text
+
+    def test_value_format(self):
+        text = render_series({"a": {"x": 123.456}}, value_format="{:.0f}")
+        assert "123" in text and "123.46" not in text

@@ -1,0 +1,131 @@
+"""Property-based GC invariants: random mutator programs.
+
+A random sequence of allocations, reference stores, root updates, and
+collections must never lose a reachable object, never resurrect a dead
+one into a space list, and must keep every space's object list
+consistent with the objects' ``space`` fields.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import build_test_vm
+
+COLLECTORS = ["PCM-Only", "KG-N", "KG-B", "KG-W", "KG-W-LOO", "KG-W-MDO"]
+
+
+def reachable_set(vm):
+    seen = set()
+    stack = [r for r in vm.roots if r is not None]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        stack.extend(ref for ref in obj.refs if ref is not None)
+    return seen
+
+
+def all_space_objects(vm):
+    objects = {}
+    for space in vm.heap.spaces.values():
+        for obj in space.live_objects():
+            objects.setdefault(id(obj), []).append((obj, space.name))
+    return objects
+
+
+def check_invariants(vm):
+    residents = all_space_objects(vm)
+    # 1. No object appears in two spaces.
+    for oid, entries in residents.items():
+        assert len(entries) == 1, f"object in {len(entries)} spaces"
+        obj, space_name = entries[0]
+        # 2. Each object's space field matches its hosting space.
+        assert obj.space == space_name
+    # 3. Every reachable object is resident somewhere.
+    for oid in reachable_set(vm):
+        assert oid in residents, "reachable object lost"
+
+
+@st.composite
+def mutator_scripts(draw):
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "alloc_ref", "alloc_large", "link",
+                             "unlink", "write", "minor", "full"]),
+            st.integers(0, 10_000)),
+        min_size=5, max_size=120))
+
+
+@settings(max_examples=25, deadline=None)
+@given(collector=st.sampled_from(COLLECTORS), script=mutator_scripts())
+def test_random_programs_preserve_reachability(collector, script):
+    vm = build_test_vm(collector)
+    ctx = vm.mutator()
+    rng = random.Random(1234)
+    rooted = []  # (root_index, obj)
+    for action, value in script:
+        if action == "alloc":
+            obj = ctx.alloc(scalar_bytes=16 + value % 200)
+            if value % 3 == 0:
+                rooted.append((ctx.add_root(obj), obj))
+        elif action == "alloc_ref":
+            obj = ctx.alloc(scalar_bytes=16, num_refs=1 + value % 4)
+            if rooted:
+                _, parent = rooted[value % len(rooted)]
+                if parent.refs:
+                    ctx.write_ref(parent, value % len(parent.refs), obj)
+            else:
+                rooted.append((ctx.add_root(obj), obj))
+        elif action == "alloc_large":
+            obj = ctx.alloc(scalar_bytes=3000 + value % 2000)
+            if value % 2 == 0:
+                rooted.append((ctx.add_root(obj), obj))
+        elif action == "link" and len(rooted) >= 2:
+            _, a = rooted[value % len(rooted)]
+            _, b = rooted[(value + 1) % len(rooted)]
+            if a.refs:
+                ctx.write_ref(a, value % len(a.refs), b)
+        elif action == "unlink" and rooted:
+            index, _obj = rooted.pop(value % len(rooted))
+            ctx.clear_root(index)
+        elif action == "write" and rooted:
+            _, obj = rooted[value % len(rooted)]
+            ctx.write_scalar_random(obj)
+        elif action == "minor":
+            vm.minor_collect()
+        elif action == "full":
+            vm.full_collect()
+    vm.full_collect()
+    check_invariants(vm)
+    # Rooted objects must all have survived, in non-young spaces.
+    residents = all_space_objects(vm)
+    for _index, obj in rooted:
+        assert id(obj) in residents
+
+
+@settings(max_examples=10, deadline=None)
+@given(script=mutator_scripts())
+def test_collectors_agree_on_live_set(script):
+    """Reachable objects after a full GC are collector-independent."""
+    sizes = []
+    for collector in ("PCM-Only", "KG-W"):
+        vm = build_test_vm(collector)
+        ctx = vm.mutator()
+        rooted = []
+        for action, value in script:
+            if action in ("alloc", "alloc_ref", "alloc_large"):
+                obj = ctx.alloc(scalar_bytes=16 + value % 100)
+                if value % 3 == 0:
+                    rooted.append((ctx.add_root(obj), obj))
+            elif action == "unlink" and rooted:
+                index, _ = rooted.pop(value % len(rooted))
+                ctx.clear_root(index)
+            elif action == "minor":
+                vm.minor_collect()
+        vm.full_collect()
+        sizes.append(len(reachable_set(vm)))
+    assert sizes[0] == sizes[1]

@@ -1,0 +1,57 @@
+"""Tests for the virtual address-space layout."""
+
+import pytest
+
+from repro.config import PAGE_SIZE, ScaleConfig
+from repro.kernel.addressspace import AddressSpaceLayout
+
+
+class TestBuild:
+    def test_regions_are_ordered_and_adjacent(self):
+        layout = AddressSpaceLayout.build()
+        assert layout.boot_start < layout.boot_end <= layout.meta_start
+        assert layout.meta_end <= layout.pcm_start
+        assert layout.pcm_end == layout.dram_start
+
+    def test_pcm_gets_larger_share(self):
+        layout = AddressSpaceLayout.build()
+        assert layout.pcm_capacity > layout.dram_capacity
+
+    def test_pcm_fraction_respected(self):
+        layout = AddressSpaceLayout.build(pcm_fraction=0.5)
+        ratio = layout.pcm_capacity / layout.heap_capacity
+        assert abs(ratio - 0.5) < 0.01
+
+    def test_scales(self):
+        small = AddressSpaceLayout.build(ScaleConfig(scale=256))
+        default = AddressSpaceLayout.build()
+        assert small.heap_capacity < default.heap_capacity
+
+    def test_page_zero_unmapped(self):
+        assert AddressSpaceLayout.build().boot_start >= PAGE_SIZE
+
+
+class TestValidation:
+    def test_out_of_order_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpaceLayout(PAGE_SIZE, 0, PAGE_SIZE, PAGE_SIZE,
+                               PAGE_SIZE, PAGE_SIZE, PAGE_SIZE, PAGE_SIZE)
+
+    def test_unaligned_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpaceLayout(100, 200, 300, 400, 500, 600, 600, 700)
+
+    def test_gap_between_pcm_and_dram_rejected(self):
+        base = PAGE_SIZE
+        with pytest.raises(ValueError):
+            AddressSpaceLayout(base, 2 * base, 2 * base, 3 * base,
+                               3 * base, 4 * base, 5 * base, 6 * base)
+
+
+class TestPredicates:
+    def test_portion_membership(self):
+        layout = AddressSpaceLayout.build()
+        assert layout.in_pcm_portion(layout.pcm_start)
+        assert not layout.in_pcm_portion(layout.pcm_end)
+        assert layout.in_dram_portion(layout.dram_start)
+        assert not layout.in_dram_portion(layout.dram_end)

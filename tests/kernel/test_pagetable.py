@@ -1,0 +1,91 @@
+"""Unit and property tests for page tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAGE_SHIFT, PAGE_SIZE
+from repro.kernel.pagetable import PageFault, PageTable
+
+
+def map_one(table, vpage=5, node=1, frame=3):
+    frame_paddr = (node << 40) | (frame << PAGE_SHIFT)
+    table.map_page(vpage, node, frame, frame_paddr)
+    return frame_paddr
+
+
+class TestMapping:
+    def test_map_and_entry(self):
+        table = PageTable()
+        map_one(table)
+        assert table.entry(5) == (1, 3)
+        assert table.is_mapped(5)
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        map_one(table)
+        with pytest.raises(ValueError):
+            map_one(table)
+
+    def test_unmap_returns_frame(self):
+        table = PageTable()
+        map_one(table)
+        assert table.unmap_page(5) == (1, 3)
+        assert not table.is_mapped(5)
+
+    def test_unmap_missing_faults(self):
+        with pytest.raises(PageFault):
+            PageTable().unmap_page(9)
+
+    def test_entry_missing_faults(self):
+        with pytest.raises(PageFault):
+            PageTable().entry(9)
+
+
+class TestTranslation:
+    def test_translate_within_page(self):
+        table = PageTable()
+        frame_paddr = map_one(table, vpage=5)
+        vaddr = (5 << PAGE_SHIFT) + 300
+        expected = (frame_paddr + 300) >> 6
+        assert table.translate_line(vaddr) == expected
+
+    def test_translate_unmapped_faults(self):
+        with pytest.raises(PageFault) as excinfo:
+            PageTable().translate_line(0x5000)
+        assert excinfo.value.vaddr == 0x5000
+
+    def test_translate_page_boundaries(self):
+        table = PageTable()
+        map_one(table, vpage=0, frame=0, node=0)
+        first = table.translate_line(0)
+        last = table.translate_line(PAGE_SIZE - 1)
+        assert last - first == PAGE_SIZE // 64 - 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.integers(0, 1000), st.integers(0, 500),
+                       min_size=1, max_size=40),
+       st.integers(0, PAGE_SIZE - 1))
+def test_property_translation_matches_mapping(mapping, offset):
+    table = PageTable()
+    for vpage, frame in mapping.items():
+        table.map_page(vpage, 0, frame, frame << PAGE_SHIFT)
+    for vpage, frame in mapping.items():
+        vaddr = (vpage << PAGE_SHIFT) + offset
+        assert table.translate_line(vaddr) == \
+            ((frame << PAGE_SHIFT) + offset) >> 6
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(0, 200), min_size=1, max_size=30))
+def test_property_unmap_restores_faulting(vpages):
+    table = PageTable()
+    for index, vpage in enumerate(sorted(vpages)):
+        table.map_page(vpage, 0, index, index << PAGE_SHIFT)
+    for vpage in vpages:
+        table.unmap_page(vpage)
+    assert table.mapped_pages == 0
+    for vpage in vpages:
+        with pytest.raises(PageFault):
+            table.translate_line(vpage << PAGE_SHIFT)

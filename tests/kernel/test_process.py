@@ -1,0 +1,63 @@
+"""Tests for processes and simulated threads."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.kernel.pagetable import PageFault
+
+
+@pytest.fixture
+def mapped_process(kernel):
+    process = kernel.create_process()
+    kernel.mmap_bind(process, 0x10000, 4 * PAGE_SIZE, node_id=1)
+    return process
+
+
+class TestThreads:
+    def test_threads_get_unique_ids(self, mapped_process):
+        t0 = mapped_process.spawn_thread()
+        t1 = mapped_process.spawn_thread()
+        assert t0.thread_id != t1.thread_id
+
+    def test_thread_follows_affinity(self, kernel):
+        process = kernel.create_process(affinity_socket=1)
+        assert process.spawn_thread().socket_id == 1
+
+    def test_explicit_socket_override(self, mapped_process):
+        assert mapped_process.spawn_thread(socket_id=1).socket_id == 1
+
+
+class TestAccess:
+    def test_single_line_access(self, mapped_process):
+        thread = mapped_process.spawn_thread()
+        cycles = thread.access(0x10000, 8, False)
+        assert cycles > 0
+        assert thread.cycles == cycles
+
+    def test_multi_line_access_touches_each_line(self, mapped_process):
+        thread = mapped_process.spawn_thread()
+        thread.access(0x10000, 256, True)  # 4 lines
+        llc = thread.core_path.socket.llc
+        assert llc.stats.accesses == 4
+
+    def test_straddling_access(self, mapped_process):
+        thread = mapped_process.spawn_thread()
+        thread.access(0x10000 + 60, 8, False)  # crosses a line boundary
+        assert thread.core_path.socket.llc.stats.accesses == 2
+
+    def test_unmapped_access_faults(self, mapped_process):
+        thread = mapped_process.spawn_thread()
+        with pytest.raises(PageFault):
+            thread.access(0x90000, 8, False)
+
+    def test_compute_accumulates(self, mapped_process):
+        thread = mapped_process.spawn_thread()
+        thread.compute(100)
+        assert thread.cycles == 100
+
+    def test_total_cycles_sums_threads(self, mapped_process):
+        t0 = mapped_process.spawn_thread()
+        t1 = mapped_process.spawn_thread()
+        t0.compute(10)
+        t1.compute(20)
+        assert mapped_process.total_cycles() == 30

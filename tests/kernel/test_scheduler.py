@@ -1,0 +1,74 @@
+"""Tests for the round-robin quantum scheduler."""
+
+from repro.kernel.scheduler import Scheduler
+
+
+def make_instance(log, name, quanta):
+    def generator():
+        for index in range(quanta):
+            log.append((name, index))
+            yield
+    return generator()
+
+
+class TestScheduling:
+    def test_all_instances_complete(self):
+        log = []
+        Scheduler(jitter=False).run([
+            make_instance(log, "a", 3),
+            make_instance(log, "b", 5),
+        ])
+        assert sum(1 for name, _ in log if name == "a") == 3
+        assert sum(1 for name, _ in log if name == "b") == 5
+
+    def test_round_robin_interleaves(self):
+        log = []
+        Scheduler(jitter=False).run([
+            make_instance(log, "a", 2),
+            make_instance(log, "b", 2),
+        ])
+        assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_shorter_instance_drops_out(self):
+        log = []
+        Scheduler(jitter=False).run([
+            make_instance(log, "a", 1),
+            make_instance(log, "b", 3),
+        ])
+        # After a finishes, b runs alone.
+        assert log[-2:] == [("b", 1), ("b", 2)]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def run_with(seed):
+            log = []
+            Scheduler(seed=seed, jitter=True).run([
+                make_instance(log, "a", 4),
+                make_instance(log, "b", 4),
+                make_instance(log, "c", 4),
+            ])
+            return log
+        assert run_with(1) == run_with(1)
+
+    def test_jitter_changes_order(self):
+        logs = []
+        for seed in range(5):
+            log = []
+            Scheduler(seed=seed, jitter=True).run([
+                make_instance(log, "a", 6),
+                make_instance(log, "b", 6),
+                make_instance(log, "c", 6),
+            ])
+            logs.append(tuple(log))
+        assert len(set(logs)) > 1
+
+    def test_on_round_callback(self):
+        # Three yields plus the final StopIteration round.
+        rounds = []
+        Scheduler(jitter=False).run(
+            [make_instance([], "a", 3)], on_round=rounds.append)
+        assert rounds == [1, 2, 3, 4]
+
+    def test_empty_instance_list(self):
+        scheduler = Scheduler()
+        scheduler.run([])
+        assert scheduler.rounds == 0

@@ -1,0 +1,94 @@
+"""Tests for the kernel's mmap/mbind/munmap and process reclaim."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.kernel.pagetable import PageFault
+from repro.kernel.vm import Kernel, MBindError
+
+
+class TestProcesses:
+    def test_pids_increase(self, kernel):
+        assert kernel.create_process().pid < kernel.create_process().pid
+
+    def test_bad_socket_rejected(self, kernel):
+        with pytest.raises(MBindError):
+            kernel.create_process(affinity_socket=7)
+
+
+class TestMmapBind:
+    def test_maps_pages_on_requested_node(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, 0x10000, 4 * PAGE_SIZE, node_id=1)
+        for vpage in range(0x10, 0x14):
+            node, _frame = process.page_table.entry(vpage)
+            assert node == 1
+        assert kernel.machine.nodes[1].frames_in_use == 4
+
+    def test_unaligned_rejected(self, kernel):
+        process = kernel.create_process()
+        with pytest.raises(MBindError):
+            kernel.mmap_bind(process, 0x10001, PAGE_SIZE, node_id=0)
+        with pytest.raises(MBindError):
+            kernel.mmap_bind(process, 0x10000, PAGE_SIZE + 1, node_id=0)
+
+    def test_bad_node_rejected(self, kernel):
+        process = kernel.create_process()
+        with pytest.raises(MBindError):
+            kernel.mmap_bind(process, 0x10000, PAGE_SIZE, node_id=5)
+
+    def test_tagging_attributes_writes(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, 0x10000, PAGE_SIZE, node_id=1,
+                         tag="nursery")
+        thread = process.spawn_thread()
+        thread.access(0x10000, 8, True)
+        kernel.machine.flush_all([thread.core_path])
+        assert kernel.machine.nodes[1].writes_by_tag == {"nursery": 1}
+
+
+class TestRetag:
+    def test_retag_changes_attribution(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, 0x10000, PAGE_SIZE, node_id=1, tag="a")
+        kernel.retag_range(process, 0x10000, PAGE_SIZE, "b")
+        thread = process.spawn_thread()
+        thread.access(0x10000, 8, True)
+        kernel.machine.flush_all([thread.core_path])
+        assert kernel.machine.nodes[1].writes_by_tag == {"b": 1}
+
+    def test_retag_unmapped_faults(self, kernel):
+        process = kernel.create_process()
+        with pytest.raises(PageFault):
+            kernel.retag_range(process, 0x10000, PAGE_SIZE, "x")
+
+
+class TestMunmap:
+    def test_frees_frames(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, 0x10000, 2 * PAGE_SIZE, node_id=0)
+        kernel.munmap(process, 0x10000, 2 * PAGE_SIZE)
+        assert kernel.machine.nodes[0].frames_in_use == 0
+        assert not process.page_table.is_mapped(0x10)
+
+    def test_unaligned_rejected(self, kernel):
+        process = kernel.create_process()
+        with pytest.raises(MBindError):
+            kernel.munmap(process, 0x10001, PAGE_SIZE)
+
+
+class TestReclaim:
+    def test_process_exit_releases_everything(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, 0x10000, 4 * PAGE_SIZE, node_id=0)
+        kernel.mmap_bind(process, 0x40000, 4 * PAGE_SIZE, node_id=1)
+        process.exit()
+        assert kernel.machine.nodes[0].frames_in_use == 0
+        assert kernel.machine.nodes[1].frames_in_use == 0
+        assert process not in kernel.processes
+
+    def test_two_processes_have_separate_tables(self, kernel):
+        first = kernel.create_process()
+        second = kernel.create_process()
+        kernel.mmap_bind(first, 0x10000, PAGE_SIZE, node_id=0)
+        assert not second.page_table.is_mapped(0x10)

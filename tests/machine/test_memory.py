@@ -1,0 +1,113 @@
+"""Tests for memory nodes: frames, counters, attribution."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.machine.memory import (
+    NODE_SHIFT,
+    MemoryNode,
+    OutOfPhysicalMemory,
+    node_of_line,
+)
+
+
+@pytest.fixture
+def node():
+    return MemoryNode(1, 64 * PAGE_SIZE, "PCM")
+
+
+class TestFrames:
+    def test_allocate_unique_frames(self, node):
+        frames = {node.allocate_frame() for _ in range(64)}
+        assert len(frames) == 64
+
+    def test_exhaustion_raises(self, node):
+        for _ in range(64):
+            node.allocate_frame()
+        with pytest.raises(OutOfPhysicalMemory):
+            node.allocate_frame()
+
+    def test_free_frame_recycled(self, node):
+        frame = node.allocate_frame()
+        node.free_frame(frame)
+        assert node.allocate_frame() == frame
+
+    def test_free_unallocated_frame_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.free_frame(5)
+
+    def test_frames_in_use_accounting(self, node):
+        first = node.allocate_frame()
+        node.allocate_frame()
+        node.free_frame(first)
+        assert node.frames_in_use == 1
+
+    def test_unaligned_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryNode(0, PAGE_SIZE + 1, "DRAM")
+
+
+class TestAddressing:
+    def test_paddr_encodes_node(self, node):
+        frame = node.allocate_frame()
+        paddr = node.frame_to_paddr(frame)
+        assert paddr >> NODE_SHIFT == 1
+        assert node_of_line(paddr >> 6) == 1
+
+    def test_node_zero_lines(self):
+        dram = MemoryNode(0, 16 * PAGE_SIZE, "DRAM")
+        frame = dram.allocate_frame()
+        assert node_of_line(dram.frame_to_paddr(frame) >> 6) == 0
+
+
+class TestCounters:
+    def test_write_and_read_counting(self, node):
+        frame = node.allocate_frame()
+        line = node.frame_to_paddr(frame) >> 6
+        node.record_write(line)
+        node.record_write(line)
+        node.record_read(line)
+        assert node.write_lines == 2
+        assert node.read_lines == 1
+        assert node.write_bytes == 128
+
+    def test_reset_counters(self, node):
+        node.record_write(0)
+        node.reset_counters()
+        assert node.write_lines == 0
+        assert node.writes_by_tag == {}
+
+    def test_snapshot(self, node):
+        node.record_write(0)
+        snap = node.snapshot()
+        assert snap["write_lines"] == 1
+
+
+class TestAttribution:
+    def test_tagged_frame_attributes_writes(self, node):
+        frame = node.allocate_frame()
+        node.tag_frame(frame, "nursery")
+        line = node.frame_to_paddr(frame) >> 6
+        node.record_write(line)
+        assert node.writes_by_tag == {"nursery": 1}
+
+    def test_untagged_writes_not_attributed(self, node):
+        frame = node.allocate_frame()
+        node.record_write(node.frame_to_paddr(frame) >> 6)
+        assert node.writes_by_tag == {}
+
+    def test_free_clears_tag(self, node):
+        frame = node.allocate_frame()
+        node.tag_frame(frame, "mature")
+        node.free_frame(frame)
+        frame2 = node.allocate_frame()
+        assert frame2 == frame
+        node.record_write(node.frame_to_paddr(frame2) >> 6)
+        assert node.writes_by_tag == {}
+
+    def test_retag_overwrites(self, node):
+        frame = node.allocate_frame()
+        node.tag_frame(frame, "mature.pcm")
+        node.tag_frame(frame, "large.pcm")
+        node.record_write(node.frame_to_paddr(frame) >> 6)
+        assert node.writes_by_tag == {"large.pcm": 1}

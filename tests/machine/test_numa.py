@@ -1,0 +1,107 @@
+"""Tests for sockets, the core access path, and the machine."""
+
+import pytest
+
+from repro.config import KB, LatencyModel, MB
+from repro.machine.cache import CacheLevel
+from repro.machine.memory import MemoryNode
+from repro.machine.numa import NumaMachine, Socket
+
+from tests.conftest import build_test_machine
+
+
+def line_on(machine, node_id, frame=0, offset=0):
+    node = machine.nodes[node_id]
+    while node._next_frame <= frame:  # ensure frame exists
+        node.allocate_frame()
+    return (node.frame_to_paddr(frame) >> 6) + offset
+
+
+class TestConstruction:
+    def test_socket_ids_must_match_index(self):
+        llc = CacheLevel(4096, 4)
+        mem = MemoryNode(1, 16 * 4096, "DRAM")
+        with pytest.raises(ValueError):
+            NumaMachine([Socket(1, llc, mem, cores=2)], LatencyModel())
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(ValueError):
+            NumaMachine([], LatencyModel())
+
+    def test_logical_cpus(self, machine):
+        assert machine.sockets[0].logical_cpus == 8  # 4 cores x 2 HT
+
+
+class TestAccessPath:
+    def test_llc_miss_costs_memory_latency(self, machine):
+        core = machine.make_core(0)
+        line = line_on(machine, 0)
+        assert core.access_line(line, False) == machine.latency.local_dram
+        assert core.access_line(line, False) == machine.latency.llc_hit
+
+    def test_remote_access_costs_more(self, machine):
+        core = machine.make_core(0)
+        line = line_on(machine, 1)
+        assert core.access_line(line, False) == machine.latency.remote_dram
+
+    def test_memory_read_counted_on_home_node(self, machine):
+        core = machine.make_core(0)
+        core.access_line(line_on(machine, 1), False)
+        assert machine.nodes[1].read_lines == 1
+        assert machine.nodes[0].read_lines == 0
+
+    def test_dirty_eviction_writes_home_node(self, machine):
+        core = machine.make_core(0)
+        llc = machine.sockets[0].llc
+        base = line_on(machine, 1)
+        # Fill one set beyond capacity with writes.
+        for way in range(llc.assoc + 1):
+            core.access_line(base + way * llc.num_sets, True)
+        assert machine.nodes[1].write_lines == 1
+
+    def test_private_cache_filters_llc(self):
+        machine = build_test_machine(private_l2=4 * KB)
+        core = machine.make_core(0)
+        line = line_on(machine, 0)
+        core.access_line(line, False)
+        cost = core.access_line(line, False)
+        assert cost == machine.latency.l2_hit
+        # The LLC saw the line only once.
+        assert machine.sockets[0].llc.stats.accesses == 1
+
+    def test_private_dirty_writeback_reaches_llc(self):
+        machine = build_test_machine(private_l2=4 * KB)
+        core = machine.make_core(0)
+        line = line_on(machine, 0)
+        core.access_line(line, True)
+        core.drain()
+        assert machine.sockets[0].llc.is_dirty(line)
+
+
+class TestMachine:
+    def test_write_listener_invoked(self, machine):
+        seen = []
+        machine.write_listeners.append(seen.append)
+        machine.memory_write(line_on(machine, 1))
+        assert len(seen) == 1
+
+    def test_flush_all_reaches_memory(self, machine):
+        core = machine.make_core(0)
+        line = line_on(machine, 1)
+        core.access_line(line, True)
+        machine.flush_all([core])
+        assert machine.nodes[1].write_lines == 1
+
+    def test_reset_counters(self, machine):
+        machine.memory_write(line_on(machine, 0))
+        machine.reset_counters()
+        assert machine.node_writes(0) == 0
+
+    def test_two_sockets_have_independent_llcs(self, machine):
+        core0 = machine.make_core(0)
+        core1 = machine.make_core(1)
+        line = line_on(machine, 0)
+        core0.access_line(line, False)
+        # Socket 1's LLC does not hold socket 0's line.
+        cost = core1.access_line(line, False)
+        assert cost == machine.latency.remote_dram

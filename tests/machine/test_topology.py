@@ -1,0 +1,52 @@
+"""Tests for machine specifications."""
+
+from repro.config import ScaleConfig
+from repro.machine.topology import (
+    DRAM_NODE,
+    PCM_NODE,
+    emulation_platform_spec,
+    sniper_simulation_spec,
+)
+
+
+class TestEmulationSpec:
+    def test_two_sockets_eight_cores_hyperthreaded(self):
+        spec = emulation_platform_spec()
+        assert spec.sockets == 2
+        assert spec.cores_per_socket == 8
+        assert spec.hyperthreads == 2
+
+    def test_llc_scales_with_config(self):
+        small = emulation_platform_spec(ScaleConfig(scale=128))
+        default = emulation_platform_spec()
+        assert small.llc_size < default.llc_size
+
+    def test_build_produces_dram_and_pcm_nodes(self):
+        machine = emulation_platform_spec().build()
+        assert machine.nodes[DRAM_NODE].kind == "DRAM"
+        assert machine.nodes[PCM_NODE].kind == "PCM"
+
+    def test_private_cache_factory_installed(self):
+        machine = emulation_platform_spec().build()
+        assert machine.private_cache_factory is not None
+        cache = machine.private_cache_factory()
+        assert cache.size == emulation_platform_spec().l2_size
+
+
+class TestSniperSpec:
+    def test_no_hyperthreading(self):
+        assert sniper_simulation_spec().hyperthreads == 1
+
+    def test_llc_override(self):
+        spec = sniper_simulation_spec(llc_size=64 * 1024)
+        assert spec.llc_size == 64 * 1024
+
+    def test_without_hyperthreading_helper(self):
+        spec = emulation_platform_spec().without_hyperthreading()
+        assert spec.hyperthreads == 1
+
+    def test_cache_geometry_always_valid(self):
+        # Every scale must produce buildable caches.
+        for scale in (16, 32, 64, 128, 256):
+            machine = sniper_simulation_spec(ScaleConfig(scale=scale)).build()
+            assert machine.sockets[0].llc.num_sets > 0

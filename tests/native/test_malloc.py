@@ -1,0 +1,150 @@
+"""Unit and property tests for the free-list malloc."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.native.malloc import (
+    HEADER_BYTES,
+    FreeListAllocator,
+    NativeOutOfMemory,
+)
+
+
+def make_allocator(size=64 * 1024, policy="first-fit"):
+    return FreeListAllocator(0x1000, size, policy=policy)
+
+
+class TestMalloc:
+    def test_returns_payload_after_header(self):
+        allocator = make_allocator()
+        addr = allocator.malloc(100)
+        assert addr == 0x1000 + HEADER_BYTES
+
+    def test_allocations_do_not_overlap(self):
+        allocator = make_allocator()
+        a = allocator.malloc(100)
+        b = allocator.malloc(100)
+        assert b >= a + 100
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_allocator().malloc(0)
+
+    def test_exhaustion_raises(self):
+        allocator = make_allocator(size=1024)
+        with pytest.raises(NativeOutOfMemory):
+            allocator.malloc(2048)
+
+    def test_usable_size_at_least_requested(self):
+        allocator = make_allocator()
+        addr = allocator.malloc(100)
+        assert allocator.usable_size(addr) >= 100
+
+    def test_tiny_heap_rejected(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(0, 16)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_allocator(policy="best-fit")
+
+
+class TestFree:
+    def test_free_then_realloc_reuses_first_fit(self):
+        allocator = make_allocator(policy="first-fit")
+        addr = allocator.malloc(100)
+        allocator.malloc(100)
+        allocator.free(addr)
+        assert allocator.malloc(100) == addr
+
+    def test_double_free_rejected(self):
+        allocator = make_allocator()
+        addr = allocator.malloc(100)
+        allocator.free(addr)
+        with pytest.raises(ValueError):
+            allocator.free(addr)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_allocator().free(0x9999)
+
+    def test_coalescing_allows_big_realloc(self):
+        allocator = make_allocator(size=4096)
+        blocks = [allocator.malloc(900) for _ in range(4)]
+        for addr in blocks:
+            allocator.free(addr)
+        # After coalescing, one big block must fit.
+        allocator.malloc(3500)
+
+    def test_stats(self):
+        allocator = make_allocator()
+        addr = allocator.malloc(128)
+        allocator.free(addr)
+        assert allocator.malloc_calls == 1
+        assert allocator.free_calls == 1
+        assert allocator.peak_allocated > 0
+
+
+class TestNextFit:
+    def test_consecutive_allocations_advance(self):
+        allocator = make_allocator(policy="next-fit")
+        first = allocator.malloc(64)
+        allocator.free(first)
+        # With live neighbours the rover keeps walking forward.
+        hold = allocator.malloc(64)
+        second = allocator.malloc(64)
+        assert second > hold
+
+    def test_wraps_to_find_space(self):
+        allocator = make_allocator(size=4096, policy="next-fit")
+        blocks = [allocator.malloc(64) for _ in range(20)]
+        allocator.free(blocks[0])
+        # Exhaust the tail, forcing a wrap to the freed block.
+        while True:
+            try:
+                allocator.malloc(64)
+            except NativeOutOfMemory:
+                break
+        assert allocator.bytes_free < 128
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 2000)),
+                min_size=1, max_size=120),
+       st.sampled_from(["first-fit", "next-fit"]))
+def test_property_invariants_hold_under_random_ops(script, policy):
+    allocator = make_allocator(size=32 * 1024, policy=policy)
+    live = []
+    for do_malloc, size in script:
+        if do_malloc or not live:
+            try:
+                live.append(allocator.malloc(size))
+            except NativeOutOfMemory:
+                pass
+        else:
+            allocator.free(live.pop(random.Random(size).randrange(len(live))))
+        allocator.check_invariants()
+    # Payload regions never overlap.
+    regions = sorted((addr, allocator.usable_size(addr)) for addr in live)
+    for (a, sa), (b, _sb) in zip(regions, regions[1:]):
+        assert a + sa <= b
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 500), min_size=1, max_size=60))
+def test_property_free_everything_restores_heap(sizes):
+    allocator = make_allocator(size=64 * 1024)
+    addrs = []
+    for size in sizes:
+        try:
+            addrs.append(allocator.malloc(size))
+        except NativeOutOfMemory:
+            break
+    for addr in addrs:
+        allocator.free(addr)
+    allocator.check_invariants()
+    assert allocator.bytes_in_use == 0
+    assert allocator.bytes_free == allocator.size

@@ -1,0 +1,68 @@
+"""Tests for the native (C++) runtime and context."""
+
+import pytest
+
+from repro.config import KB
+from repro.native.runtime import NativeRuntime
+
+
+@pytest.fixture
+def runtime(kernel):
+    return NativeRuntime(kernel, heap_bytes=256 * KB, node=1,
+                         thread_socket=1, app_threads=2)
+
+
+class TestRuntime:
+    def test_heap_bound_to_requested_node(self, runtime, kernel):
+        assert kernel.machine.nodes[1].frames_in_use > 0
+        assert kernel.machine.nodes[0].frames_in_use == 0
+
+    def test_threads_on_requested_socket(self, runtime):
+        assert all(t.socket_id == 1 for t in runtime.app_threads)
+
+    def test_shutdown_releases_frames(self, runtime, kernel):
+        runtime.shutdown()
+        assert kernel.machine.nodes[1].frames_in_use == 0
+
+
+class TestContext:
+    def test_malloc_writes_only_header(self, runtime, kernel):
+        ctx = runtime.mutator()
+        before = ctx.thread.cycles
+        obj = ctx.malloc(1024)
+        header_cycles = ctx.thread.cycles - before
+        ctx.write_all(obj)
+        body_cycles = ctx.thread.cycles - before - header_cycles
+        # No zeroing: the 1 KB body touch costs far more than malloc.
+        assert body_cycles > header_cycles
+
+    def test_alloc_stats(self, runtime):
+        ctx = runtime.mutator()
+        ctx.malloc(100)
+        assert runtime.stats.bytes_allocated == 100
+        assert runtime.stats.objects_allocated == 1
+
+    def test_free_recycles(self, runtime):
+        ctx = runtime.mutator()
+        obj = ctx.malloc(100)
+        ctx.free(obj)
+        assert runtime.allocator.bytes_in_use == 0
+
+    def test_writes_reach_pcm_node(self, runtime, kernel):
+        ctx = runtime.mutator()
+        obj = ctx.malloc(64 * KB)
+        ctx.write_all(obj)
+        kernel.machine.flush_all([t.core_path for t in runtime.app_threads])
+        assert kernel.machine.nodes[1].writes_by_tag.get(
+            "native-heap", 0) > 0
+
+    def test_use_thread(self, runtime):
+        ctx = runtime.mutator()
+        ctx.use_thread(1)
+        assert ctx.thread is runtime.app_threads[1]
+
+    def test_finish_records_cycles(self, runtime):
+        ctx = runtime.mutator()
+        ctx.compute(10)
+        runtime.finish()
+        assert runtime.stats.mutator_cycles > 0

@@ -1,0 +1,74 @@
+"""Property tests for the mark-region block's hole management."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.objectmodel import Obj
+from repro.runtime.spaces import BLOCK_SIZE, _Block
+
+
+def gaps_are_disjoint_and_sorted(block):
+    cursor = block.addr - 1
+    for addr, size in sorted(block.gaps):
+        assert size > 0
+        assert addr > cursor
+        cursor = addr + size - 1
+        assert addr + size <= block.addr + BLOCK_SIZE
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(16, 512), min_size=1, max_size=60))
+def test_allocations_never_overlap(sizes):
+    block = _Block(0x10000)
+    allocated = []
+    for size in sizes:
+        addr = block.allocate(size)
+        if addr is None:
+            continue
+        allocated.append((addr, size))
+    regions = sorted(allocated)
+    for (a, sa), (b, _sb) in zip(regions, regions[1:]):
+        assert a + sa <= b
+    for addr, size in regions:
+        assert block.addr <= addr
+        assert addr + size <= block.addr + BLOCK_SIZE
+    gaps_are_disjoint_and_sorted(block)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(16, 400), min_size=1, max_size=40),
+       st.sets(st.integers(0, 39)))
+def test_rebuild_gaps_accounts_every_free_byte(sizes, survivors):
+    block = _Block(0x20000)
+    objects = []
+    for index, size in enumerate(sizes):
+        addr = block.allocate(size)
+        if addr is None:
+            continue
+        obj = Obj(addr, size, 0, "mature.pcm")
+        if index in survivors:
+            objects.append(obj)
+    block.objects = objects
+    block.rebuild_gaps()
+    gaps_are_disjoint_and_sorted(block)
+    live_bytes = sum(obj.size for obj in objects)
+    assert block.free_bytes == BLOCK_SIZE - live_bytes
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(16, 300), min_size=2, max_size=30))
+def test_holes_are_reusable_after_sweep(sizes):
+    block = _Block(0x30000)
+    addrs = []
+    for size in sizes:
+        addr = block.allocate(size)
+        if addr is not None:
+            addrs.append((addr, size))
+    # Keep only every other object; rebuild holes.
+    block.objects = [Obj(addr, size, 0, "mature.pcm")
+                     for addr, size in addrs[::2]]
+    block.rebuild_gaps()
+    freed = sum(size for _, size in addrs[1::2])
+    if freed >= 16:
+        # At least one freed region must be allocatable again.
+        assert block.allocate(16) is not None

@@ -1,0 +1,105 @@
+"""Unit and property tests for the dual chunk free lists (Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.freelist import ChunkFreeList, OutOfVirtualMemory
+
+CHUNK = 4096
+
+
+def make_list(chunks=8, mapped=None):
+    mapped = mapped if mapped is not None else []
+    return ChunkFreeList("FreeList-Lo", 0x100000,
+                         0x100000 + chunks * CHUNK, CHUNK,
+                         lambda addr, size: mapped.append((addr, size)))
+
+
+class TestAcquire:
+    def test_fresh_chunks_are_mapped_once(self):
+        mapped = []
+        freelist = make_list(mapped=mapped)
+        record = freelist.acquire("mature")
+        assert mapped == [(record.addr, CHUNK)]
+        assert record.owner == "mature"
+        assert record.mapped and not record.free
+
+    def test_recycled_chunk_not_remapped(self):
+        mapped = []
+        freelist = make_list(mapped=mapped)
+        record = freelist.acquire("mature")
+        freelist.release(record.addr)
+        again = freelist.acquire("large")
+        assert again.addr == record.addr
+        assert again.owner == "large"
+        assert len(mapped) == 1  # chunks stay mapped (Section III-A)
+
+    def test_exhaustion_raises(self):
+        freelist = make_list(chunks=2)
+        freelist.acquire("a")
+        freelist.acquire("a")
+        with pytest.raises(OutOfVirtualMemory):
+            freelist.acquire("a")
+
+    def test_release_then_acquire_at_exhaustion(self):
+        freelist = make_list(chunks=1)
+        record = freelist.acquire("a")
+        freelist.release(record.addr)
+        assert freelist.acquire("b").addr == record.addr
+
+
+class TestRelease:
+    def test_double_free_rejected(self):
+        freelist = make_list()
+        record = freelist.acquire("a")
+        freelist.release(record.addr)
+        with pytest.raises(ValueError):
+            freelist.release(record.addr)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_list().release(0xDEAD000)
+
+    def test_release_clears_owner(self):
+        freelist = make_list()
+        record = freelist.acquire("a")
+        freelist.release(record.addr)
+        assert freelist.record(record.addr).owner is None
+
+
+class TestAccounting:
+    def test_counts(self):
+        freelist = make_list(chunks=4)
+        a = freelist.acquire("x")
+        freelist.acquire("x")
+        freelist.release(a.addr)
+        assert freelist.chunks_in_use == 1
+        assert freelist.free_chunks == 3
+        assert freelist.total_chunks == 4
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkFreeList("x", 0, 100, 64, lambda a, s: None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["acquire", "release"]),
+                min_size=1, max_size=60))
+def test_property_chunks_never_overlap_and_stay_in_range(script):
+    freelist = make_list(chunks=6)
+    held = []
+    for action in script:
+        if action == "acquire":
+            try:
+                held.append(freelist.acquire("space"))
+            except OutOfVirtualMemory:
+                assert len(held) == 6
+        elif held:
+            freelist.release(held.pop().addr)
+    addrs = sorted(record.addr for record in held)
+    for first, second in zip(addrs, addrs[1:]):
+        assert second - first >= CHUNK
+    for record in held:
+        assert 0x100000 <= record.addr < 0x100000 + 6 * CHUNK
+    assert freelist.chunks_in_use == len(held)

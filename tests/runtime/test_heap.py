@@ -1,0 +1,114 @@
+"""Tests for the hybrid heap manager."""
+
+import pytest
+
+from repro.config import KB
+from repro.kernel.addressspace import AddressSpaceLayout
+from repro.kernel.vm import Kernel
+from repro.runtime.heap import HybridHeap
+
+from tests.conftest import TEST_SCALE, build_test_machine
+
+
+def make_heap(budget=256 * KB, nursery=16 * KB, observer=0):
+    kernel = Kernel(build_test_machine())
+    process = kernel.create_process()
+    layout = AddressSpaceLayout.build(TEST_SCALE)
+    return HybridHeap(kernel, process, layout, heap_budget=budget,
+                      nursery_size=nursery, observer_size=observer,
+                      scale=TEST_SCALE)
+
+
+class TestLayoutCarving:
+    def test_nursery_at_top_of_memory(self):
+        heap = make_heap()
+        assert heap.nursery_start + heap.nursery_size == heap.layout.dram_end
+
+    def test_observer_below_nursery(self):
+        heap = make_heap(observer=32 * KB)
+        assert heap.observer_start + heap.observer_size == heap.nursery_start
+
+    def test_dram_chunk_area_below_observer(self):
+        heap = make_heap(observer=32 * KB)
+        assert heap.freelist_hi.end <= heap.observer_start
+
+    def test_oversized_young_spaces_rejected(self):
+        with pytest.raises(ValueError):
+            make_heap(nursery=TEST_SCALE.socket_dram,
+                      observer=TEST_SCALE.socket_dram)
+
+
+class TestRouting:
+    def test_node_for(self):
+        heap = make_heap()
+        assert heap.node_for(True) == 0
+        assert heap.node_for(False) == 1
+
+    def test_freelist_for(self):
+        heap = make_heap()
+        assert heap.freelist_for(False) is heap.freelist_lo
+        assert heap.freelist_for(True) is heap.freelist_hi
+
+    def test_pcm_chunks_map_to_pcm_node(self):
+        heap = make_heap()
+        mature = heap.make_mature("mature.pcm", False)
+        mature.allocate(64, 0)
+        # The chunk's first page must be mapped on node 1.
+        vpage = heap.freelist_lo.start >> 12
+        node, _ = heap.process.page_table.entry(vpage)
+        assert node == 1
+
+    def test_dram_chunks_map_to_dram_node(self):
+        heap = make_heap()
+        mature = heap.make_mature("mature.dram", True)
+        mature.allocate(64, 0)
+        vpage = heap.freelist_hi.start >> 12
+        node, _ = heap.process.page_table.entry(vpage)
+        assert node == 0
+
+
+class TestBudget:
+    def test_may_commit(self):
+        heap = make_heap(budget=2 * TEST_SCALE.chunk_size)
+        assert heap.may_commit(TEST_SCALE.chunk_size)
+        assert not heap.may_commit(3 * TEST_SCALE.chunk_size)
+
+    def test_commit_accounting_roundtrip(self):
+        heap = make_heap()
+        mature = heap.make_mature("mature.pcm", False)
+        mature.allocate(64, 0)
+        assert heap.committed == heap.chunk_size
+        heap.gc_epoch += 1
+        mature.sweep(heap.gc_epoch)
+        assert heap.committed == 0
+
+    def test_budget_headroom(self):
+        heap = make_heap(budget=4 * TEST_SCALE.chunk_size)
+        assert heap.budget_headroom == 4 * TEST_SCALE.chunk_size
+
+
+class TestRegistry:
+    def test_duplicate_space_rejected(self):
+        heap = make_heap()
+        heap.make_mature("mature.pcm", False)
+        with pytest.raises(ValueError):
+            heap.make_mature("mature.pcm", False)
+
+    def test_observer_requires_region(self):
+        heap = make_heap(observer=0)
+        with pytest.raises(ValueError):
+            heap.make_observer(True)
+
+    def test_chunked_spaces_listing(self):
+        heap = make_heap()
+        heap.make_mature("mature.pcm", False)
+        heap.make_los("large.pcm", False)
+        heap.make_nursery(True)
+        names = {space.name for space in heap.chunked_spaces()}
+        assert names == {"mature.pcm", "large.pcm"}
+
+    def test_describe_mentions_spaces(self):
+        heap = make_heap()
+        heap.make_nursery(True)
+        text = heap.describe()
+        assert "nursery" in text and "FreeList-Lo" in text

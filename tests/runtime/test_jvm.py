@@ -1,0 +1,150 @@
+"""Tests for the JVM facade: allocation, barriers, GC triggering."""
+
+import pytest
+
+from repro.runtime.heap import OutOfMemoryError
+from repro.runtime.objectmodel import LOS_THRESHOLD
+
+from tests.conftest import build_test_vm
+
+
+class TestAllocation:
+    def test_small_objects_go_to_nursery(self, vm):
+        ctx = vm.mutator()
+        obj = ctx.alloc(scalar_bytes=32, num_refs=2)
+        assert obj.space == "nursery"
+
+    def test_allocation_zeroes_whole_object(self, vm):
+        ctx = vm.mutator()
+        before = vm.stats.bytes_allocated
+        obj = ctx.alloc(scalar_bytes=256)
+        assert vm.stats.bytes_allocated - before == obj.size
+        # Zeroing touched every line of the object.
+        thread = ctx.thread
+        assert thread.cycles > 0
+
+    def test_large_objects_bypass_nursery_without_loo(self, kgn_vm):
+        ctx = kgn_vm.mutator()
+        obj = ctx.alloc(scalar_bytes=LOS_THRESHOLD + 100)
+        assert obj.space == "large.pcm"
+        assert obj.is_large
+
+    def test_loo_allocates_large_in_nursery(self, vm):
+        # KG-W has LOO: modest large objects start in the nursery.
+        ctx = vm.mutator()
+        obj = ctx.alloc(scalar_bytes=vm.nursery.size // 16, large=True)
+        assert obj.space == "nursery"
+        assert obj.is_large
+
+    def test_nursery_exhaustion_triggers_minor_gc(self, vm):
+        ctx = vm.mutator()
+        while vm.stats.minor_gcs == 0:
+            ctx.alloc(scalar_bytes=128)
+        assert vm.stats.minor_gcs >= 1
+
+    def test_object_too_big_for_nursery_rejected(self, vm):
+        ctx = vm.mutator()
+        with pytest.raises(OutOfMemoryError):
+            ctx.alloc(scalar_bytes=2 * vm.nursery.size, large=False)
+
+
+class TestWriteBarrier:
+    def test_old_to_young_store_recorded(self, kgn_vm):
+        vm = kgn_vm  # KG-N promotes straight to the mature space
+        ctx = vm.mutator()
+        old = ctx.alloc(scalar_bytes=16, num_refs=2)
+        ctx.add_root(old)
+        vm.minor_collect()  # promote old out of the young region
+        assert old.addr < vm.young_boundary
+        young = ctx.alloc(scalar_bytes=16)
+        ctx.write_ref(old, 0, young)
+        assert old.in_remset
+        assert old in vm.remset
+
+    def test_young_to_young_store_not_recorded(self, vm):
+        ctx = vm.mutator()
+        a = ctx.alloc(scalar_bytes=16, num_refs=1)
+        b = ctx.alloc(scalar_bytes=16)
+        ctx.write_ref(a, 0, b)
+        assert not a.in_remset
+
+    def test_duplicate_remset_entries_suppressed(self, kgn_vm):
+        vm = kgn_vm
+        ctx = vm.mutator()
+        old = ctx.alloc(scalar_bytes=16, num_refs=2)
+        ctx.add_root(old)
+        vm.minor_collect()
+        young = ctx.alloc(scalar_bytes=16)
+        ctx.write_ref(old, 0, young)
+        ctx.write_ref(old, 1, young)
+        assert vm.remset.count(old) == 1
+
+    def test_observer_writes_monitored(self, vm):
+        ctx = vm.mutator()
+        obj = ctx.alloc(scalar_bytes=64)
+        ctx.add_root(obj)
+        vm.minor_collect()  # KG-W: promoted into the observer
+        assert obj.space == "observer"
+        ctx.write_scalar(obj)
+        assert obj.write_count == 1
+
+    def test_nursery_writes_not_monitored(self, vm):
+        ctx = vm.mutator()
+        obj = ctx.alloc(scalar_bytes=64)
+        ctx.write_scalar(obj)
+        assert obj.write_count == 0
+
+
+class TestRoots:
+    def test_root_slot_reuse(self, vm):
+        ctx = vm.mutator()
+        obj = ctx.alloc(scalar_bytes=16)
+        index = ctx.add_root(obj)
+        ctx.clear_root(index)
+        other = ctx.alloc(scalar_bytes=16)
+        assert ctx.add_root(other) == index
+
+    def test_set_root(self, vm):
+        ctx = vm.mutator()
+        index = ctx.add_root(None)
+        obj = ctx.alloc(scalar_bytes=16)
+        ctx.set_root(index, obj)
+        assert vm.roots[index] is obj
+
+
+class TestStats:
+    def test_snapshot_delta(self, vm):
+        ctx = vm.mutator()
+        mark = vm.stats.copy()
+        ctx.alloc(scalar_bytes=64)
+        delta = vm.stats.snapshot_delta(mark)
+        assert delta.objects_allocated == 1
+        assert delta.minor_gcs == 0
+
+    def test_gc_cycles_attributed(self, vm):
+        ctx = vm.mutator()
+        obj = ctx.alloc(scalar_bytes=64)
+        ctx.add_root(obj)
+        vm.minor_collect()
+        assert vm.stats.gc_cycles > 0
+
+    def test_boot_image_loaded_at_startup(self, vm):
+        # Boot image loading wrote the whole boot region.
+        assert vm.gc_threads[0].cycles > 0
+
+
+class TestThreadMultiplexing:
+    def test_use_thread_rotates(self, vm):
+        ctx = vm.mutator()
+        ctx.use_thread(1)
+        assert ctx.thread is vm.app_threads[1]
+        ctx.use_thread(5)  # wraps around
+        assert ctx.thread is vm.app_threads[1]
+
+    def test_shutdown_releases_memory(self):
+        vm = build_test_vm()
+        machine = vm.kernel.machine
+        assert machine.nodes[0].frames_in_use > 0
+        vm.shutdown()
+        assert machine.nodes[0].frames_in_use == 0
+        assert machine.nodes[1].frames_in_use == 0

@@ -1,0 +1,64 @@
+"""Tests for the managed object model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.objectmodel import (
+    HEADER_BYTES,
+    LOS_THRESHOLD,
+    MIN_OBJECT_BYTES,
+    OBJECT_ALIGN,
+    REF_BYTES,
+    Obj,
+    object_size,
+)
+
+
+class TestObjectSize:
+    def test_includes_header_and_refs(self):
+        assert object_size(16, 2) == HEADER_BYTES + 2 * REF_BYTES + 16
+
+    def test_minimum_size(self):
+        assert object_size(0, 0) == MIN_OBJECT_BYTES
+
+    @given(st.integers(0, 4096), st.integers(0, 64))
+    def test_alignment(self, scalar, refs):
+        assert object_size(scalar, refs) % OBJECT_ALIGN == 0
+
+    @given(st.integers(0, 4096), st.integers(0, 64))
+    def test_monotonic(self, scalar, refs):
+        assert object_size(scalar + 8, refs) >= object_size(scalar, refs)
+        assert object_size(scalar, refs + 1) >= object_size(scalar, refs)
+
+
+class TestObj:
+    def make(self, addr=0x1000, scalar=32, refs=3):
+        return Obj(addr, object_size(scalar, refs), refs, "nursery")
+
+    def test_ref_slot_addresses(self):
+        obj = self.make()
+        assert obj.ref_slot_addr(0) == 0x1000 + HEADER_BYTES
+        assert obj.ref_slot_addr(2) == 0x1000 + HEADER_BYTES + 2 * REF_BYTES
+
+    def test_scalar_addr_after_refs(self):
+        obj = self.make(refs=3)
+        assert obj.scalar_addr(0) == 0x1000 + HEADER_BYTES + 3 * REF_BYTES
+
+    def test_scalar_bytes(self):
+        obj = self.make(scalar=32, refs=3)
+        assert obj.scalar_bytes == obj.size - HEADER_BYTES - 3 * REF_BYTES
+
+    def test_refs_start_null(self):
+        assert self.make().refs == [None, None, None]
+
+    def test_initial_flags(self):
+        obj = self.make()
+        assert not obj.in_remset
+        assert not obj.is_large
+        assert obj.write_count == 0
+        assert obj.mark == -1
+
+    def test_large_threshold_sane(self):
+        # The threshold must exceed any "small" object we model.
+        assert LOS_THRESHOLD > object_size(512, 16)

@@ -1,0 +1,79 @@
+"""Tests for GC pause tracking and mutator utilization."""
+
+import pytest
+
+from repro.runtime.jvm import RuntimeStats
+
+from tests.conftest import build_test_vm
+
+
+class TestPauseRecording:
+    def test_minor_collection_records_a_pause(self, kgn_vm):
+        ctx = kgn_vm.mutator()
+        ctx.add_root(ctx.alloc(scalar_bytes=64))
+        kgn_vm.minor_collect()
+        assert len(kgn_vm.stats.pauses) == 1
+        assert kgn_vm.stats.pauses[0] > 0
+
+    def test_full_collection_records_a_pause(self, kgn_vm):
+        ctx = kgn_vm.mutator()
+        ctx.add_root(ctx.alloc(scalar_bytes=64))
+        kgn_vm.full_collect()
+        assert len(kgn_vm.stats.pauses) >= 1
+
+    def test_full_pause_exceeds_empty_minor_pause(self, kgn_vm):
+        # With a populated mature space, marking everything costs more
+        # than a minor collection over an empty nursery.
+        ctx = kgn_vm.mutator()
+        for _ in range(30):
+            ctx.add_root(ctx.alloc(scalar_bytes=128))
+        kgn_vm.minor_collect()      # tenure the 30 objects
+        kgn_vm.minor_collect()      # empty-nursery minor: cheap
+        minor_pause = kgn_vm.stats.pauses[-1]
+        kgn_vm.full_collect()       # marks the 30 mature objects
+        full_pause = kgn_vm.stats.pauses[-1]
+        assert full_pause > minor_pause
+
+    def test_pause_stats_properties(self):
+        stats = RuntimeStats()
+        stats.pauses = [100, 300, 200]
+        assert stats.max_pause_cycles == 300
+        assert stats.mean_pause_cycles == pytest.approx(200.0)
+
+    def test_empty_pause_stats(self):
+        stats = RuntimeStats()
+        assert stats.max_pause_cycles == 0
+        assert stats.mean_pause_cycles == 0.0
+
+
+class TestSnapshotDelta:
+    def test_delta_keeps_only_new_pauses(self, kgn_vm):
+        ctx = kgn_vm.mutator()
+        ctx.add_root(ctx.alloc(scalar_bytes=64))
+        kgn_vm.minor_collect()
+        mark = kgn_vm.stats.copy()
+        kgn_vm.minor_collect()
+        delta = kgn_vm.stats.snapshot_delta(mark)
+        assert len(delta.pauses) == 1
+        assert len(kgn_vm.stats.pauses) == 2
+
+    def test_copy_is_independent(self, kgn_vm):
+        ctx = kgn_vm.mutator()
+        ctx.add_root(ctx.alloc(scalar_bytes=64))
+        kgn_vm.minor_collect()
+        mark = kgn_vm.stats.copy()
+        kgn_vm.minor_collect()
+        assert len(mark.pauses) == 1
+
+
+class TestMutatorUtilization:
+    def test_all_mutator_when_no_gc(self):
+        stats = RuntimeStats(mutator_cycles=1000, gc_cycles=0)
+        assert stats.mutator_utilization() == 1.0
+
+    def test_ratio(self):
+        stats = RuntimeStats(mutator_cycles=900, gc_cycles=100)
+        assert stats.mutator_utilization() == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert RuntimeStats().mutator_utilization() == 1.0

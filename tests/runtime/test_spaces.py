@@ -1,0 +1,195 @@
+"""Tests for heap spaces: contiguous, mature (mark-region), LOS, metadata."""
+
+import pytest
+
+from repro.config import KB, PAGE_SIZE
+from repro.kernel.addressspace import AddressSpaceLayout
+from repro.kernel.vm import Kernel
+from repro.runtime.heap import HybridHeap
+from repro.runtime.objectmodel import object_size
+from repro.runtime.spaces import BLOCK_SIZE
+
+from tests.conftest import TEST_SCALE, build_test_machine
+
+
+@pytest.fixture
+def heap():
+    kernel = Kernel(build_test_machine())
+    process = kernel.create_process()
+    layout = AddressSpaceLayout.build(TEST_SCALE)
+    return HybridHeap(kernel, process, layout, heap_budget=256 * KB,
+                      nursery_size=16 * KB, observer_size=32 * KB,
+                      scale=TEST_SCALE)
+
+
+class TestContiguousSpace:
+    def test_bump_allocation(self, heap):
+        nursery = heap.make_nursery(True)
+        first = nursery.allocate(64, 2)
+        second = nursery.allocate(64, 0)
+        assert second.addr == first.addr + 64
+        assert nursery.bytes_used == 128
+
+    def test_exhaustion_returns_none(self, heap):
+        nursery = heap.make_nursery(True)
+        assert nursery.allocate(nursery.size + 64, 0) is None
+
+    def test_reset_reclaims(self, heap):
+        nursery = heap.make_nursery(True)
+        nursery.allocate(128, 0)
+        nursery.reset()
+        assert nursery.bytes_used == 0
+        assert nursery.objects == []
+
+    def test_reserve_and_adopt(self, heap):
+        nursery = heap.make_nursery(True)
+        observer = heap.make_observer(True)
+        obj = nursery.allocate(64, 0)
+        addr = observer.reserve(obj.size)
+        observer.adopt(obj, addr)
+        assert obj.space == "observer"
+        assert obj.addr == addr
+
+    def test_contains_addr(self, heap):
+        nursery = heap.make_nursery(True)
+        assert nursery.contains_addr(nursery.start)
+        assert not nursery.contains_addr(nursery.end)
+
+    def test_node_binding(self, heap):
+        nursery = heap.make_nursery(False)  # PCM-Only style
+        assert nursery.node == 1
+
+
+class TestMatureSpace:
+    def test_allocation_acquires_chunks(self, heap):
+        mature = heap.make_mature("mature.pcm", False)
+        obj = mature.allocate(100, 0)
+        assert obj is not None
+        assert mature.bytes_committed == heap.chunk_size
+        assert heap.committed == heap.chunk_size
+
+    def test_budget_exhaustion_returns_none(self, heap):
+        mature = heap.make_mature("mature.pcm", False)
+        size = object_size(BLOCK_SIZE // 2, 0)
+        allocated = 0
+        while True:
+            obj = mature.allocate(size, 0)
+            if obj is None:
+                break
+            allocated += 1
+        assert heap.committed <= heap.heap_budget
+        assert allocated > 0
+
+    def test_sweep_frees_unmarked(self, heap):
+        mature = heap.make_mature("mature.pcm", False)
+        live = mature.allocate(64, 0)
+        dead = mature.allocate(64, 0)
+        heap.gc_epoch += 1
+        live.mark = heap.gc_epoch
+        freed = mature.sweep(heap.gc_epoch)
+        assert freed == dead.size
+        assert list(mature.live_objects()) == [live]
+
+    def test_sweep_releases_empty_chunks(self, heap):
+        mature = heap.make_mature("mature.pcm", False)
+        mature.allocate(64, 0)
+        heap.gc_epoch += 1
+        mature.sweep(heap.gc_epoch)  # nothing marked -> all free
+        assert mature.bytes_committed == 0
+        assert heap.committed == 0
+
+    def test_hole_recycling_after_sweep(self, heap):
+        mature = heap.make_mature("mature.pcm", False)
+        objs = [mature.allocate(96, 0) for _ in range(10)]
+        heap.gc_epoch += 1
+        for obj in objs[::2]:  # keep every other object
+            obj.mark = heap.gc_epoch
+        mature.sweep(heap.gc_epoch)
+        # New allocation fits into the swept holes without new chunks.
+        committed_before = mature.bytes_committed
+        fresh = mature.allocate(64, 0)
+        assert fresh is not None
+        assert mature.bytes_committed == committed_before
+
+    def test_adopt_moves_object(self, heap):
+        nursery = heap.make_nursery(True)
+        mature = heap.make_mature("mature.pcm", False)
+        obj = nursery.allocate(64, 1)
+        assert mature.adopt(obj)
+        assert obj.space == "mature.pcm"
+        assert obj in list(mature.live_objects())
+
+
+class TestLargeObjectSpace:
+    def test_page_granular_allocation(self, heap):
+        los = heap.make_los("large.pcm", False)
+        obj = los.allocate(5000, 0)
+        assert obj.is_large
+        assert obj.addr % PAGE_SIZE == 0
+
+    def test_object_larger_than_chunk(self, heap):
+        los = heap.make_los("large.pcm", False)
+        obj = los.allocate(heap.chunk_size * 2 + 100, 0)
+        assert obj is not None
+        assert los.bytes_committed >= 2 * heap.chunk_size
+
+    def test_sweep_frees_and_releases_chunks(self, heap):
+        los = heap.make_los("large.pcm", False)
+        live = los.allocate(5000, 0)
+        los.allocate(5000, 0)
+        heap.gc_epoch += 1
+        live.mark = heap.gc_epoch
+        freed = los.sweep(heap.gc_epoch)
+        assert freed > 0
+        assert list(los.live_objects()) == [live]
+
+    def test_freed_pages_are_reused(self, heap):
+        los = heap.make_los("large.pcm", False)
+        obj = los.allocate(PAGE_SIZE, 0)
+        addr = obj.addr
+        heap.gc_epoch += 1
+        los.sweep(heap.gc_epoch)
+        again = los.allocate(PAGE_SIZE, 0)
+        assert again.addr == addr
+
+    def test_release_object_for_migration(self, heap):
+        los_pcm = heap.make_los("large.pcm", False)
+        los_dram = heap.make_los("large.dram", True)
+        obj = los_pcm.allocate(5000, 0)
+        old_addr = obj.addr
+        assert los_dram.adopt(obj)
+        los_pcm.release_object(obj, at_addr=old_addr)
+        assert obj not in los_pcm.objects
+        assert obj.space == "large.dram"
+
+    def test_budget_respected(self, heap):
+        los = heap.make_los("large.pcm", False)
+        assert los.allocate(heap.heap_budget * 2, 0) is None
+
+
+class TestMetadataSpace:
+    def test_mark_addr_within_space(self, heap):
+        heap.make_metadata(pcm_meta_in_dram=False)
+        mature = heap.make_mature("mature.pcm", False)
+        obj = mature.allocate(64, 0)
+        addr = heap.mark_addr(obj)
+        meta = heap.space("metadata.pcm")
+        assert meta.start <= addr < meta.end
+
+    def test_mdo_places_pcm_metadata_in_dram(self, heap):
+        heap.make_metadata(pcm_meta_in_dram=True)
+        assert heap.space("metadata.pcm").node == 0
+        assert heap.space("metadata.dram").node == 0
+
+    def test_distinct_objects_distinct_marks(self, heap):
+        heap.make_metadata(pcm_meta_in_dram=False)
+        mature = heap.make_mature("mature.pcm", False)
+        a = mature.allocate(64, 0)
+        b = mature.allocate(64, 0)
+        assert heap.mark_addr(a) != heap.mark_addr(b)
+
+    def test_uncovered_address_rejected(self, heap):
+        heap.make_metadata(pcm_meta_in_dram=False)
+        meta = heap.space("metadata.pcm")
+        with pytest.raises(ValueError):
+            meta.mark_addr(0)

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_benchmarks_and_collectors(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lusearch" in out
+        assert "pr.cpp" in out
+        assert "KG-W" in out
+
+
+class TestDescribe:
+    def test_describes_platform(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "Socket 0 = DRAM" in out
+        assert "140" in out  # recommended write rate
+
+
+class TestRun:
+    def test_run_prints_measurement(self, capsys):
+        assert main(["run", "-b", "fop", "-c", "KG-N"]) == 0
+        out = capsys.readouterr().out
+        assert "fop" in out and "PCM" in out and "GC:" in out
+
+    def test_bad_collector_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-c", "KG-XYZ"])
+
+
+class TestReproduce:
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["reproduce", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,80 @@
+"""Tests for the global configuration and scaling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import (
+    DEFAULT_LATENCY,
+    DEFAULT_SCALE_CONFIG,
+    DEFAULT_SEEDS,
+    LINE_SIZE,
+    MB,
+    PAGE_SIZE,
+    LatencyModel,
+    ScaleConfig,
+    scaled,
+)
+
+
+class TestScaled:
+    def test_paper_nursery(self):
+        assert scaled(4 * MB) == 64 * 1024
+
+    def test_page_aligned(self):
+        assert scaled(5 * MB) % PAGE_SIZE == 0
+
+    def test_floor_at_one_page(self):
+        assert scaled(1024) == PAGE_SIZE
+
+    @given(st.integers(1, 1 << 36), st.sampled_from([16, 64, 256]))
+    def test_monotone_in_input(self, size, scale):
+        assert scaled(size + MB, scale) >= scaled(size, scale)
+
+
+class TestScaleConfig:
+    def test_ratios_preserved(self):
+        config = DEFAULT_SCALE_CONFIG
+        # Nursery : LLC ratio is the paper's 4 MB : 20 MB.
+        assert config.llc_size / config.nursery_default == 5.0
+        # KG-B's nursery is 3x the default (12 MB : 4 MB).
+        assert config.nursery_big_default / config.nursery_default == 3.0
+        # GraphChi uses an 8x nursery (32 MB : 4 MB).
+        assert config.nursery_graphchi / config.nursery_default == 8.0
+
+    def test_chunk_matches_nursery(self):
+        # Jikes uses 4 MB chunks, the same as the default nursery.
+        assert DEFAULT_SCALE_CONFIG.chunk_size == \
+            DEFAULT_SCALE_CONFIG.nursery_default
+
+    def test_custom_scale(self):
+        small = ScaleConfig(scale=256)
+        assert small.llc_size < DEFAULT_SCALE_CONFIG.llc_size
+
+
+class TestLatencyModel:
+    def test_ordering(self):
+        latency = DEFAULT_LATENCY
+        assert latency.l1_hit < latency.l2_hit < latency.llc_hit
+        assert latency.llc_hit < latency.local_dram < latency.remote_dram
+
+    def test_memory_latency_selector(self):
+        assert DEFAULT_LATENCY.memory_latency(remote=True) == \
+            DEFAULT_LATENCY.remote_dram
+        assert DEFAULT_LATENCY.memory_latency(remote=False) == \
+            DEFAULT_LATENCY.local_dram
+
+    def test_seconds(self):
+        latency = LatencyModel(frequency_hz=2_000_000_000)
+        assert latency.seconds(2_000_000_000) == pytest.approx(1.0)
+
+
+class TestSeeds:
+    def test_derive_is_deterministic(self):
+        assert DEFAULT_SEEDS.derive(1, 2) == DEFAULT_SEEDS.derive(1, 2)
+
+    def test_derive_differs_per_instance(self):
+        assert DEFAULT_SEEDS.derive(1, 2) != DEFAULT_SEEDS.derive(1, 3)
+
+    def test_line_size_is_64(self):
+        assert LINE_SIZE == 64

@@ -1,0 +1,46 @@
+"""Tests for the experiment registry and cheap experiment modules."""
+
+import importlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentOutput
+from repro.experiments import table1
+from repro.harness.experiment import ExperimentRunner
+
+
+class TestRegistry:
+    def test_every_paper_artifact_listed(self):
+        for name in ("table1", "table2", "figure3", "figure4", "figure5",
+                     "figure6", "figure7", "figure8", "table3"):
+            assert name in EXPERIMENTS
+
+    def test_extensions_listed(self):
+        for name in ("wear_analysis", "crystal_gazer", "llc_sensitivity",
+                     "scale_robustness", "observer_sweep",
+                     "writes_breakdown"):
+            assert name in EXPERIMENTS
+
+    def test_modules_importable_with_run(self):
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run), name
+
+
+class TestTable1:
+    def test_runs_without_measurements(self):
+        runner = ExperimentRunner()
+        output = table1.run(runner)
+        assert isinstance(output, ExperimentOutput)
+        assert runner.runs_executed == 0  # pure configuration
+        assert "Nursery" in output.text
+
+    def test_data_matches_policy(self):
+        output = table1.run(ExperimentRunner())
+        assert output.data["KG-N"]["nursery_dram"]
+        assert output.data["KG-W"]["observer"]
+        assert not output.data["KG-W-MDO"]["mdo"]
+
+    def test_str_is_text(self):
+        output = table1.run(ExperimentRunner())
+        assert str(output) == output.text

@@ -1,0 +1,104 @@
+"""Tests for the synthetic mutator model."""
+
+import pytest
+
+from repro.config import KB, MB, scaled
+from repro.workloads.base import BenchmarkApp, SyntheticApp, WorkloadProfile
+
+from tests.conftest import build_test_vm
+
+
+def make_app(ops=400, nursery=16 * KB, **kwargs):
+    profile = WorkloadProfile(ops=ops, quantum=32, **kwargs)
+    return SyntheticApp("test-app", "dacapo", profile,
+                        heap_budget=16 * nursery, nursery_size=nursery,
+                        app_threads=2, seed=11)
+
+
+def drive(app, vm):
+    ctx = vm.mutator()
+    app.setup(ctx)
+    for _ in app.iteration(ctx):
+        pass
+    return ctx
+
+
+class TestSetup:
+    def test_working_set_scales_with_heap(self):
+        small = make_app()
+        big = SyntheticApp("big", "dacapo", WorkloadProfile(),
+                           heap_budget=scaled(200 * MB),
+                           nursery_size=scaled(4 * MB))
+        assert big.num_tables > small.num_tables
+
+    def test_live_fraction_scales_tables(self):
+        lean = make_app(live_fraction=0.1)
+        fat = make_app(live_fraction=0.5)
+        assert fat.num_tables > lean.num_tables
+
+    def test_setup_builds_rooted_tables(self):
+        vm = build_test_vm("KG-N")
+        app = make_app()
+        ctx = vm.mutator()
+        app.setup(ctx)
+        assert len(app._tables) == app.num_tables
+        rooted = {id(r) for r in vm.roots if r is not None}
+        assert all(id(t) in rooted for t in app._tables)
+
+    def test_medium_tables_sized_from_nursery(self):
+        short = make_app(nursery=8 * KB)
+        long = make_app(nursery=64 * KB)
+        assert long.num_medium_tables >= short.num_medium_tables
+
+
+class TestIteration:
+    def test_iteration_yields_every_quantum(self):
+        vm = build_test_vm("KG-N")
+        app = make_app(ops=128)
+        ctx = vm.mutator()
+        app.setup(ctx)
+        yields = sum(1 for _ in app.iteration(ctx))
+        assert yields == 128 // 32
+
+    def test_iteration_allocates_and_mutates(self):
+        vm = build_test_vm("KG-N")
+        app = make_app(ops=600, alloc_per_op=2.0)
+        mark = vm.stats.copy()
+        drive(app, vm)
+        delta = vm.stats.snapshot_delta(mark)
+        assert delta.objects_allocated > 1000
+
+    def test_two_iterations_supported(self):
+        # Replay compilation runs the iteration twice on one instance.
+        vm = build_test_vm("KG-N")
+        app = make_app(ops=300)
+        ctx = vm.mutator()
+        app.setup(ctx)
+        for _ in app.iteration(ctx):
+            pass
+        for _ in app.iteration(ctx):
+            pass
+        assert vm.stats.objects_allocated > 0
+
+    def test_large_allocation_path(self):
+        vm = build_test_vm("KG-N")
+        app = make_app(ops=400, large_alloc_per_op=0.05,
+                       large_sizes=(4 * KB,))
+        drive(app, vm)
+        los = vm.heap.space("large.pcm")
+        assert los.bytes_committed > 0 or vm.stats.objects_promoted >= 0
+
+    def test_survivors_promoted_under_gc(self):
+        vm = build_test_vm("KG-N", nursery=8 * KB)
+        app = make_app(ops=1500, nursery=8 * KB, alloc_per_op=2.0,
+                       survival_rate=0.2)
+        drive(app, vm)
+        assert vm.stats.minor_gcs > 0
+        assert vm.stats.objects_promoted > 0
+
+
+class TestBaseClass:
+    def test_iteration_abstract(self):
+        app = BenchmarkApp("x", 1024, 1024)
+        with pytest.raises(NotImplementedError):
+            next(app.iteration(None))

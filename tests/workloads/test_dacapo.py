@@ -1,0 +1,90 @@
+"""Tests for the DaCapo benchmark definitions."""
+
+import pytest
+
+from repro.workloads.dacapo import (
+    LARGE_DATASET_BENCHMARKS,
+    SIMULATABLE_BENCHMARKS,
+    DaCapoApp,
+)
+from repro.workloads.registry import benchmark_factory, benchmarks_in_suite
+
+
+class TestRegistry:
+    def test_thirteen_benchmarks(self):
+        names = benchmarks_in_suite("dacapo")
+        assert len(names) == 13
+        assert "lusearch" in names and "lu.Fix" in names
+        assert "pmd" in names and "pmd.S" in names
+
+    def test_simulatable_subset(self):
+        assert len(SIMULATABLE_BENCHMARKS) == 7
+        assert set(SIMULATABLE_BENCHMARKS) <= set(
+            benchmarks_in_suite("dacapo"))
+
+    def test_factory_produces_fresh_instances(self):
+        factory = benchmark_factory("avrora")
+        first = factory(0)
+        second = factory(1)
+        assert first is not second
+        assert first.seed != second.seed
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_factory("nonexistent")
+
+
+class TestCharacter:
+    def test_lusearch_allocates_most(self):
+        lusearch = benchmark_factory("lusearch")(0)
+        fop = benchmark_factory("fop")(0)
+        assert lusearch.profile.alloc_per_op > fop.profile.alloc_per_op
+
+    def test_lufix_removes_useless_allocation(self):
+        lusearch = benchmark_factory("lusearch")(0)
+        lufix = benchmark_factory("lu.Fix")(0)
+        assert lufix.profile.alloc_per_op < lusearch.profile.alloc_per_op / 2
+
+    def test_pmds_has_smaller_retained_set(self):
+        pmd = benchmark_factory("pmd")(0)
+        pmds = benchmark_factory("pmd.S")(0)
+        assert pmds.num_tables < pmd.num_tables
+
+    def test_all_use_four_threads_and_4mb_nursery(self):
+        from repro.config import MB, scaled
+        for name in benchmarks_in_suite("dacapo"):
+            app = benchmark_factory(name)(0)
+            assert app.app_threads == 4
+            assert app.nursery_size == scaled(4 * MB)
+            assert app.suite == "dacapo"
+
+
+class TestDatasets:
+    def test_large_dataset_increases_work(self):
+        default = benchmark_factory("lusearch")(0, dataset="default")
+        large = benchmark_factory("lusearch")(0, dataset="large")
+        assert large.profile.ops > default.profile.ops
+        assert large.heap_budget > default.heap_budget
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_factory("lusearch")(0, dataset="huge")
+
+    def test_large_regimes_differ(self):
+        # Rate-flat apps only scale ops; compute-bound apps also raise
+        # compute; working-set apps raise survival.
+        flat = benchmark_factory("lusearch")(0, dataset="large")
+        compute = benchmark_factory("fop")(0, dataset="large")
+        retained = benchmark_factory("hsqldb")(0, dataset="large")
+        base_flat = benchmark_factory("lusearch")(0)
+        base_compute = benchmark_factory("fop")(0)
+        base_retained = benchmark_factory("hsqldb")(0)
+        assert flat.profile.compute_per_op == base_flat.profile.compute_per_op
+        assert (compute.profile.compute_per_op
+                > base_compute.profile.compute_per_op)
+        assert (retained.profile.survival_rate
+                > base_retained.profile.survival_rate)
+
+    def test_large_dataset_list(self):
+        assert set(LARGE_DATASET_BENCHMARKS) <= set(
+            benchmarks_in_suite("dacapo"))

@@ -1,0 +1,80 @@
+"""Tests for the synthetic dataset generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.datasets import (
+    NETFLIX_ITEMS,
+    NETFLIX_USERS,
+    generate_graph,
+    generate_ratings,
+    scaled_count,
+)
+
+
+class TestGraph:
+    def test_edge_count(self):
+        graph = generate_graph(1000, seed=1)
+        assert graph.num_edges == 1000
+        assert sum(len(adj) for adj in graph.adjacency) == 1000
+
+    def test_deterministic_per_seed(self):
+        a = generate_graph(500, seed=42)
+        b = generate_graph(500, seed=42)
+        assert a.adjacency == b.adjacency
+
+    def test_different_seeds_differ(self):
+        a = generate_graph(500, seed=1)
+        b = generate_graph(500, seed=2)
+        assert a.adjacency != b.adjacency
+
+    def test_power_law_hubs(self):
+        graph = generate_graph(5000, seed=3)
+        degrees = sorted((len(adj) for adj in graph.adjacency),
+                         reverse=True)
+        # The top vertex vastly out-degrees the median (skew).
+        assert degrees[0] > 10 * max(1, degrees[len(degrees) // 2])
+
+    def test_targets_in_range(self):
+        graph = generate_graph(1000, seed=4)
+        for adj in graph.adjacency:
+            for dst in adj:
+                assert 0 <= dst < graph.num_vertices
+
+
+class TestRatings:
+    def test_rating_count(self):
+        ratings = generate_ratings(1000, seed=1)
+        assert ratings.num_ratings == 1000
+
+    def test_population_capped_at_netflix_scale(self):
+        ratings = generate_ratings(1_000_000, seed=1)
+        assert ratings.num_users == NETFLIX_USERS
+        assert ratings.num_items == NETFLIX_ITEMS
+
+    def test_pairs_in_range(self):
+        ratings = generate_ratings(2000, seed=2)
+        for user, item in ratings.pairs:
+            assert 0 <= user < ratings.num_users
+            assert 0 <= item < ratings.num_items
+
+    def test_popular_item_skew(self):
+        ratings = generate_ratings(20_000, seed=3)
+        counts = [0] * ratings.num_items
+        for _user, item in ratings.pairs:
+            counts[item] += 1
+        top_decile = sorted(counts, reverse=True)[:ratings.num_items // 10]
+        assert sum(top_decile) > 0.2 * ratings.num_ratings
+
+
+class TestScaledCount:
+    def test_divides_by_scale(self):
+        assert scaled_count(1_000_000, 64) == 15625
+
+    def test_floor(self):
+        assert scaled_count(10, 64) == 64  # never below the floor
+
+    @given(st.integers(1, 10**8))
+    @settings(max_examples=30)
+    def test_positive(self, count):
+        assert scaled_count(count) > 0

@@ -1,0 +1,115 @@
+"""Tests for the GraphChi workloads (Java and C++ variants)."""
+
+import pytest
+
+from repro.config import KB
+from repro.kernel.vm import Kernel
+from repro.native.runtime import NativeRuntime
+from repro.workloads.graphchi import (
+    AlsJavaApp,
+    GraphChiCppApp,
+    PageRankCppApp,
+    PageRankJavaApp,
+)
+from repro.workloads.registry import benchmark_factory, benchmarks_in_suite
+
+from tests.conftest import build_test_machine, build_test_vm
+
+
+class TestRegistry:
+    def test_java_suite(self):
+        assert set(benchmarks_in_suite("graphchi")) == {"pr", "cc", "als"}
+
+    def test_cpp_suite(self):
+        assert set(benchmarks_in_suite("graphchi-cpp")) == {
+            "pr.cpp", "cc.cpp", "als.cpp"}
+
+    def test_cpp_apps_flagged_native(self):
+        app = benchmark_factory("pr.cpp")(0)
+        assert app.runtime == "native"
+        assert isinstance(app, GraphChiCppApp)
+
+
+class TestJavaApps:
+    def make_vm(self):
+        return build_test_vm("KG-W", nursery=32 * KB,
+                             heap_budget=1024 * KB)
+
+    def test_pagerank_builds_graph_and_runs(self):
+        vm = self.make_vm()
+        app = PageRankJavaApp("pr", seed=5, edges=800)
+        ctx = vm.mutator()
+        app.setup(ctx)
+        assert len(app._vertices) == app.graph.num_vertices
+        assert len(app._shards) == 16  # in + out shard per interval
+        quanta = sum(1 for _ in app.iteration(ctx))
+        assert quanta > 0
+
+    def test_pagerank_writes_every_vertex(self):
+        vm = self.make_vm()
+        app = PageRankJavaApp("pr", seed=5, edges=800)
+        ctx = vm.mutator()
+        app.setup(ctx)
+        writes_before = vm.stats.bytes_allocated
+        for _ in app.iteration(ctx):
+            pass
+        assert vm.stats.bytes_allocated > writes_before
+
+    def test_als_builds_factor_tables(self):
+        vm = self.make_vm()
+        app = AlsJavaApp("als", seed=5, edges=800)
+        ctx = vm.mutator()
+        app.setup(ctx)
+        assert len(app._users) == app.ratings.num_users
+        assert len(app._items) == app.ratings.num_items
+
+    def test_shards_are_large_objects(self):
+        vm = self.make_vm()
+        app = PageRankJavaApp("pr", seed=5, edges=800)
+        ctx = vm.mutator()
+        app.setup(ctx)
+        assert all(shard.is_large for shard in app._shards)
+
+
+class TestCppApps:
+    def make_runtime(self):
+        kernel = Kernel(build_test_machine())
+        return NativeRuntime(kernel, heap_bytes=4096 * KB, node=1,
+                             thread_socket=1)
+
+    def test_pagerank_cpp_runs(self):
+        runtime = self.make_runtime()
+        app = PageRankCppApp("pr.cpp", seed=5, edges=800)
+        ctx = runtime.mutator()
+        app.setup(ctx)
+        quanta = sum(1 for _ in app.iteration(ctx))
+        assert quanta > 0
+
+    def test_cpp_allocates_nothing_persistent_in_iteration(self):
+        runtime = self.make_runtime()
+        app = PageRankCppApp("pr.cpp", seed=5, edges=800)
+        ctx = runtime.mutator()
+        app.setup(ctx)
+        in_use_before = runtime.allocator.bytes_in_use
+        for _ in app.iteration(ctx):
+            pass
+        # Windows are freed; only the bounded FIFOs (temp batch +
+        # snapshot records) may remain.
+        growth = runtime.allocator.bytes_in_use - in_use_before
+        assert growth < 256 * KB
+
+    def test_cpp_no_zeroing(self):
+        runtime = self.make_runtime()
+        ctx = runtime.mutator()
+        before = ctx.thread.cycles
+        ctx.malloc(8 * KB)
+        # malloc touches only the header, not 8 KB.
+        assert ctx.thread.cycles - before < 1000
+
+
+class TestDatasets:
+    def test_large_dataset_has_more_edges(self):
+        default = benchmark_factory("pr")(0, dataset="default")
+        large = benchmark_factory("pr")(0, dataset="large")
+        assert large.edges == 10 * default.edges
+        assert large.dataset == "large"

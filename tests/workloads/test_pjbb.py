@@ -1,0 +1,55 @@
+"""Tests for the Pjbb workload."""
+
+import pytest
+
+from repro.config import KB
+from repro.workloads.pjbb import PjbbApp
+from repro.workloads.registry import benchmark_factory, benchmarks_in_suite
+
+from tests.conftest import build_test_vm
+
+
+class TestRegistration:
+    def test_suite_has_single_benchmark(self):
+        assert benchmarks_in_suite("pjbb") == ["pjbb"]
+
+    def test_factory(self):
+        app = benchmark_factory("pjbb")(0)
+        assert isinstance(app, PjbbApp)
+        assert app.suite == "pjbb"
+
+
+class TestCharacter:
+    def test_bigger_heap_than_typical_dacapo(self):
+        pjbb = benchmark_factory("pjbb")(0)
+        dacapo = benchmark_factory("fop")(0)
+        assert pjbb.heap_budget > dacapo.heap_budget
+
+    def test_high_survival(self):
+        pjbb = benchmark_factory("pjbb")(0)
+        lusearch = benchmark_factory("lusearch")(0)
+        assert pjbb.profile.survival_rate > lusearch.profile.survival_rate
+
+    def test_large_dataset(self):
+        default = benchmark_factory("pjbb")(0)
+        large = benchmark_factory("pjbb")(0, dataset="large")
+        assert large.profile.ops > default.profile.ops
+        assert large.heap_budget > default.heap_budget
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            PjbbApp(dataset="tiny")
+
+
+class TestExecution:
+    def test_runs_in_a_vm(self):
+        from dataclasses import replace
+        app = benchmark_factory("pjbb")(0)
+        app.profile = replace(app.profile, ops=400)
+        vm = build_test_vm("KG-W", nursery=16 * KB,
+                           heap_budget=app.heap_budget)
+        ctx = vm.mutator()
+        app.setup(ctx)
+        for _ in app.iteration(ctx):
+            pass
+        assert vm.stats.objects_allocated > 0
