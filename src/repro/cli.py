@@ -4,6 +4,9 @@
 
     python -m repro list
     python -m repro run -b lusearch -c KG-W -n 4
+    python -m repro run -b lusearch -c KG-W --json
+    python -m repro trace figure4 --out trace.jsonl
+    python -m repro stats -b fop -c KG-N
     python -m repro reproduce figure7
     python -m repro reproduce all
     python -m repro describe
@@ -12,13 +15,27 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.config import DEFAULT_SCALE_CONFIG, RECOMMENDED_WRITE_RATE_MBS
 from repro.core.collectors import ALL_COLLECTOR_NAMES
 from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.observability import METRICS, TRACER, enable_console, run_report
 from repro.workloads.registry import benchmark_factory, benchmarks_in_suite
+
+
+def _add_measurement_args(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``run`` and ``stats`` verbs."""
+    parser.add_argument("-b", "--benchmark", default="lusearch")
+    parser.add_argument("-c", "--collector", default="PCM-Only",
+                        choices=ALL_COLLECTOR_NAMES)
+    parser.add_argument("-n", "--instances", type=int, default=1)
+    parser.add_argument("--dataset", default="default",
+                        choices=["default", "large"])
+    parser.add_argument("--mode", default="emulation",
+                        choices=["emulation", "simulation"])
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,23 +49,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("describe", help="show the emulated platform")
 
     run = sub.add_parser("run", help="measure one configuration")
-    run.add_argument("-b", "--benchmark", default="lusearch")
-    run.add_argument("-c", "--collector", default="PCM-Only",
-                     choices=ALL_COLLECTOR_NAMES)
-    run.add_argument("-n", "--instances", type=int, default=1)
-    run.add_argument("--dataset", default="default",
-                     choices=["default", "large"])
-    run.add_argument("--mode", default="emulation",
-                     choices=["emulation", "simulation"])
+    _add_measurement_args(run)
     run.add_argument("--track-wear", action="store_true",
                      help="measure per-line PCM wear and Start-Gap "
                           "levelling efficiency")
+    run.add_argument("--json", action="store_true",
+                     help="emit a machine-readable run report (per-"
+                          "socket counters, LLC hit rates, GC phase "
+                          "spans, wall-time) instead of text")
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate a table/figure (or 'all')")
     reproduce.add_argument("experiment",
                            help="table1, table2, figure3..figure8, "
                                 "table3, wear_analysis, or 'all'")
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with tracing on and export "
+                      "the span/event buffer as JSON lines")
+    trace.add_argument("experiment", help="experiment name (see 'reproduce')")
+    trace.add_argument("--out", default="trace.jsonl",
+                       help="output path (default: trace.jsonl)")
+    trace.add_argument("--capacity", type=int, default=None,
+                       help="override the trace ring-buffer capacity")
+
+    stats = sub.add_parser(
+        "stats", help="measure one configuration and render the "
+                      "metrics registry as a table")
+    _add_measurement_args(stats)
     return parser
 
 
@@ -77,17 +105,36 @@ def _cmd_describe() -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _measure(args: argparse.Namespace, track_wear: bool = False):
+    """Run one configuration from parsed measurement options."""
     mode = (EmulationMode.EMULATION if args.mode == "emulation"
             else EmulationMode.SIMULATION)
-    platform = HybridMemoryPlatform(mode=mode, track_wear=args.track_wear)
+    platform = HybridMemoryPlatform(mode=mode, track_wear=track_wear)
     factory = benchmark_factory(args.benchmark)
 
     def make_app(index: int):
         return factory(index, dataset=args.dataset)
 
-    result = platform.run(make_app, collector=args.collector,
-                          instances=args.instances)
+    return platform.run(make_app, collector=args.collector,
+                        instances=args.instances)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.json:
+        # Trace the run so the report can include GC phase spans.
+        was_enabled = TRACER.enabled
+        TRACER.clear()
+        TRACER.enable()
+        try:
+            result = _measure(args, track_wear=args.track_wear)
+            report = run_report(result, gc_spans=TRACER.spans("gc."),
+                                metrics=METRICS.as_dict())
+        finally:
+            TRACER.enabled = was_enabled
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    result = _measure(args, track_wear=args.track_wear)
     print(result.describe())
     for tag, lines in sorted(result.per_tag_pcm_writes.items()):
         print(f"  PCM writes from {tag:14s} {lines:8d} lines")
@@ -101,20 +148,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _unknown_experiment(name: str) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    choices = ", ".join(sorted(EXPERIMENTS))
+    print(f"unknown experiment {name!r}; choose from {choices}, "
+          f"or 'all'", file=sys.stderr)
+    return 2
+
+
 def _cmd_reproduce(name: str) -> int:
     import importlib
 
     from repro.experiments import EXPERIMENTS, run_all
 
     if name == "all":
+        enable_console()
         run_all(verbose=True)
         return 0
     if name not in EXPERIMENTS:
-        print(f"unknown experiment {name!r}; choose from "
-              f"{EXPERIMENTS} or 'all'", file=sys.stderr)
-        return 2
+        return _unknown_experiment(name)
     module = importlib.import_module(f"repro.experiments.{name}")
     print(module.run(None).text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.experiments import EXPERIMENTS
+    from repro.harness.experiment import ExperimentRunner
+
+    if args.experiment not in EXPERIMENTS:
+        return _unknown_experiment(args.experiment)
+    if args.capacity is not None and args.capacity <= 0:
+        print(f"--capacity must be positive, got {args.capacity}",
+              file=sys.stderr)
+        return 2
+    was_enabled = TRACER.enabled
+    old_capacity = TRACER.capacity
+    if args.capacity:
+        TRACER.set_capacity(args.capacity)
+    TRACER.clear()
+    TRACER.enable()
+    # A fresh runner (not SHARED_RUNNER) so every measurement of the
+    # experiment genuinely executes and leaves a runner.run span.
+    runner = ExperimentRunner()
+    module = importlib.import_module(f"repro.experiments.{args.experiment}")
+    try:
+        module.run(runner)
+        try:
+            written = TRACER.export_jsonl(args.out)
+        except OSError as exc:
+            print(f"cannot write trace to {args.out}: {exc}",
+                  file=sys.stderr)
+            return 1
+    finally:
+        TRACER.enabled = was_enabled
+        if args.capacity:
+            TRACER.set_capacity(old_capacity)
+    dropped = f" ({TRACER.dropped} dropped)" if TRACER.dropped else ""
+    print(f"{args.experiment}: wrote {written} trace records to "
+          f"{args.out}{dropped}; {runner.executions} runs, "
+          f"{runner.cache_hits} cache hits")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    result = _measure(args)
+    print(result.describe())
+    print()
+    print(METRICS.render_table(title="Metrics registry:"))
     return 0
 
 
@@ -128,6 +232,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args.experiment)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Set, Tuple
 
+from repro.observability.trace import TRACER
 from repro.runtime.heap import OutOfMemoryError
 from repro.runtime.objectmodel import HEADER_BYTES, REF_BYTES, Obj
 from repro.runtime.spaces import ContiguousSpace
@@ -103,10 +104,16 @@ class Collector:
             force_observer or observer.bytes_free < nursery.bytes_used)
         nursery_live, observer_live = self._trace_young(vm, collect_observer)
         if collect_observer:
+            tracer = TRACER
+            start = tracer.begin() if tracer.enabled else 0.0
             for obj in observer_live:
                 self._tenure_observer(vm, obj)
             observer.reset()
             vm.stats.observer_collections += 1
+            if tracer.enabled:
+                tracer.complete("gc.observer", start,
+                                collector=self.config.name,
+                                survivors=len(observer_live))
         for obj in nursery_live:
             self._promote_nursery(vm, obj)
         nursery.reset()

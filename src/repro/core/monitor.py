@@ -17,6 +17,8 @@ from typing import List
 from repro.config import PAGE_SIZE
 from repro.kernel.process import Process, SimThread
 from repro.kernel.vm import Kernel
+from repro.observability.metrics import METRICS
+from repro.observability.trace import TRACER
 
 
 @dataclass
@@ -71,6 +73,10 @@ class WriteRateMonitor:
             offset = (self._cursor * 64) % (self._buffer_bytes - 64)
             self._cursor += 1
             self.thread.access(self._buffer_start + offset, 64, True)
+        METRICS.inc("monitor.samples")
+        if TRACER.enabled:
+            TRACER.event("monitor.sample", round=round_index,
+                         node_writes=list(record.node_writes))
         return record
 
     def reset(self) -> None:

@@ -21,6 +21,7 @@ methodology:
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -43,6 +44,8 @@ from repro.machine.topology import (
     emulation_platform_spec,
     sniper_simulation_spec,
 )
+from repro.observability.metrics import METRICS, sanitize
+from repro.observability.trace import TRACER
 from repro.runtime.jvm import JavaVM, RuntimeStats
 
 
@@ -73,6 +76,16 @@ class MeasurementResult:
     wear_efficiency: Optional[float] = None
     #: Max-to-mean PCM line wear before levelling (None when untracked).
     wear_imbalance: Optional[float] = None
+    #: Per-node read/write line counts for the measured iteration
+    #: (``pcm-memory``-style per-socket counters).
+    node_counters: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-socket LLC counter deltas over the measured iteration.
+    llc_stats: List[Dict[str, object]] = field(default_factory=list)
+    #: Remote-socket demand misses during the measured iteration.
+    qpi_crossings: int = 0
+    #: Host wall-clock seconds the whole run() call took (both
+    #: iterations), for harness-level profiling.
+    host_seconds: float = 0.0
 
     @property
     def pcm_write_bytes(self) -> int:
@@ -204,6 +217,7 @@ class HybridMemoryPlatform:
         """
         if instances < 1:
             raise ValueError("need at least one instance")
+        host_start = time.perf_counter()
         emulating = self.mode is EmulationMode.EMULATION
         machine = self._machine_spec().build()
         kernel = Kernel(machine)
@@ -233,6 +247,9 @@ class HybridMemoryPlatform:
 
         # ---- barrier: reset counters; snapshot cycles and stats
         machine.reset_counters()
+        llc_marks = [(s.llc.stats.hits, s.llc.stats.misses,
+                      s.llc.stats.evictions, s.llc.stats.dirty_evictions)
+                     for s in machine.sockets]
         if monitor is not None:
             monitor.reset()
         wear_tracker = None
@@ -276,6 +293,26 @@ class HybridMemoryPlatform:
             monitor_rates = monitor.write_rate_series(
                 cycles_per_round, self.latency.frequency_hz)
 
+        llc_stats: List[Dict[str, object]] = []
+        for socket, (h0, m0, e0, d0) in zip(machine.sockets, llc_marks):
+            stats = socket.llc.stats
+            hits, misses = stats.hits - h0, stats.misses - m0
+            accesses = hits + misses
+            llc_stats.append({
+                "socket": socket.socket_id,
+                "hits": hits,
+                "misses": misses,
+                "evictions": stats.evictions - e0,
+                "dirty_evictions": stats.dirty_evictions - d0,
+                "hit_rate": hits / accesses if accesses else 0.0,
+            })
+        node_counters: List[Dict[str, object]] = [{
+            "node": node.node_id,
+            "kind": node.kind,
+            "read_lines": node.read_lines,
+            "write_lines": node.write_lines,
+        } for node in machine.nodes]
+
         result = MeasurementResult(
             benchmark=getattr(apps[0], "name", "custom"),
             collector=collector,
@@ -288,6 +325,9 @@ class HybridMemoryPlatform:
             per_tag_dram_writes=dict(dram_node.writes_by_tag),
             instance_stats=instance_stats,
             monitor_rates_mbs=monitor_rates,
+            node_counters=node_counters,
+            llc_stats=llc_stats,
+            qpi_crossings=machine.qpi_crossings,
         )
         if wear_tracker is not None:
             from repro.machine.wear import effective_endurance_efficiency
@@ -295,8 +335,70 @@ class HybridMemoryPlatform:
             result.wear_efficiency = effective_endurance_efficiency(
                 wear_tracker)
             wear_tracker.detach()
+        self._publish_space_metrics(vms)
         for vm in vms:
             vm.shutdown()
         if monitor is not None:
             monitor.shutdown()
+        result.host_seconds = time.perf_counter() - host_start
+        self._publish_metrics(kernel, measured, result)
+        if TRACER.enabled:
+            TRACER.complete("platform.run", host_start,
+                            benchmark=result.benchmark, collector=collector,
+                            instances=instances, mode=self.mode.value)
         return result
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _publish_space_metrics(vms: List[object]) -> None:
+        """Per-space occupancy gauges (``runtime.space.*``)."""
+        for vm in vms:
+            heap = getattr(vm, "heap", None)
+            if heap is None:
+                continue
+            for name, space in heap.spaces.items():
+                used = getattr(space, "bytes_used",
+                               getattr(space, "bytes_committed", None))
+                if used is not None:
+                    METRICS.set(
+                        f"runtime.space.{sanitize(name)}.bytes_used", used)
+
+    @staticmethod
+    def _publish_metrics(kernel: Kernel, scheduler: Scheduler,
+                         result: MeasurementResult) -> None:
+        """Accumulate this run's counters into the global registry."""
+        for llc in result.llc_stats:
+            prefix = f"machine.socket{llc['socket']}.llc"
+            METRICS.inc(f"{prefix}.hits", llc["hits"])
+            METRICS.inc(f"{prefix}.misses", llc["misses"])
+            METRICS.inc(f"{prefix}.dirty_evictions", llc["dirty_evictions"])
+        for node in result.node_counters:
+            prefix = f"machine.socket{node['node']}.mem"
+            METRICS.inc(f"{prefix}.read_lines", node["read_lines"])
+            METRICS.inc(f"{prefix}.write_lines", node["write_lines"])
+        METRICS.inc("machine.qpi.crossings", result.qpi_crossings)
+        METRICS.inc("kernel.mmap_calls", kernel.mmap_calls)
+        METRICS.inc("kernel.munmap_calls", kernel.munmap_calls)
+        METRICS.inc("kernel.retag_calls", kernel.retag_calls)
+        METRICS.inc("kernel.pages_mapped", kernel.pages_mapped)
+        METRICS.inc("kernel.page_faults", kernel.page_faults)
+        METRICS.inc("kernel.scheduler.rounds", scheduler.rounds)
+        METRICS.inc("kernel.scheduler.dispatches", scheduler.dispatches)
+        gc_prefix = f"gc.{sanitize(result.collector)}"
+        for stats in result.instance_stats:
+            METRICS.inc(f"{gc_prefix}.minor_collections", stats.minor_gcs)
+            METRICS.inc(f"{gc_prefix}.full_collections", stats.full_gcs)
+            METRICS.inc(f"{gc_prefix}.observer_collections",
+                        stats.observer_collections)
+            METRICS.inc(f"{gc_prefix}.nursery_survivors",
+                        stats.objects_promoted)
+            METRICS.inc(f"{gc_prefix}.large_migrations",
+                        stats.large_migrations)
+            METRICS.inc(f"{gc_prefix}.bytes_allocated",
+                        stats.bytes_allocated)
+            METRICS.inc(f"{gc_prefix}.bytes_copied", stats.bytes_copied)
+            for pause in stats.pauses:
+                METRICS.observe(f"{gc_prefix}.pause_cycles", pause)
+        METRICS.observe("platform.run_host_seconds", result.host_seconds)

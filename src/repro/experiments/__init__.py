@@ -36,10 +36,16 @@ EXPERIMENTS = [
 
 
 def run_all(verbose: bool = True):
-    """Regenerate every table and figure; returns outputs by name."""
+    """Regenerate every table and figure; returns outputs by name.
+
+    ``verbose`` narrates progress through the ``repro`` logger rather
+    than printing: attach a handler (the CLI uses
+    :func:`repro.observability.log.enable_console`) to see it.
+    """
     import importlib
 
     from repro.harness.experiment import ExperimentRunner
+    from repro.observability.log import narrate
 
     runner = ExperimentRunner(verbose=verbose)
     outputs = {}
@@ -48,6 +54,5 @@ def run_all(verbose: bool = True):
         output = module.run(runner)
         outputs[name] = output
         if verbose:
-            print(output.text)
-            print()
+            narrate("%s\n", output.text)
     return outputs

@@ -9,6 +9,8 @@ full reproduction pass never repeats a configuration.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -18,6 +20,9 @@ from repro.core.platform import (
     HybridMemoryPlatform,
     MeasurementResult,
 )
+from repro.observability.log import narrate
+from repro.observability.metrics import METRICS
+from repro.observability.trace import TRACER
 from repro.workloads.registry import benchmark_factory
 
 
@@ -40,12 +45,17 @@ class ExperimentRunner:
     Parameters
     ----------
     verbose:
-        Print one line per fresh (non-cached) run.
+        Narrate one line per fresh (non-cached) run through the
+        ``repro`` logger (see :mod:`repro.observability.log`).
     """
 
     def __init__(self, verbose: bool = False) -> None:
         self._cache: Dict[RunKey, MeasurementResult] = {}
         self.verbose = verbose
+        #: Fresh (non-cached) platform runs this runner performed.
+        self.executions = 0
+        #: Runs answered from the memoisation cache.
+        self.cache_hits = 0
 
     def run(self, benchmark: str, collector: str = "PCM-Only",
             instances: int = 1, dataset: str = "default",
@@ -57,7 +67,15 @@ class ExperimentRunner:
                      llc_size, scale.scale)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
+            METRICS.inc("runner.cache.hits")
+            if TRACER.enabled:
+                TRACER.event("runner.cache_hit", benchmark=benchmark,
+                             collector=collector, instances=instances)
             return cached
+        METRICS.inc("runner.cache.misses")
+        trace_start = TRACER.begin() if TRACER.enabled else 0.0
+        host_start = time.perf_counter()
         platform = HybridMemoryPlatform(mode=mode, scale=scale,
                                         llc_size_override=llc_size)
         factory = benchmark_factory(benchmark)
@@ -67,9 +85,18 @@ class ExperimentRunner:
 
         result = platform.run(make_app, collector=collector,
                               instances=instances)
+        host_seconds = time.perf_counter() - host_start
         self._cache[key] = result
+        self.executions += 1
+        METRICS.inc("runner.executions")
+        METRICS.observe("runner.run_seconds", host_seconds)
+        if TRACER.enabled:
+            TRACER.complete("runner.run", trace_start, benchmark=benchmark,
+                            collector=collector, instances=instances,
+                            dataset=dataset, mode=mode.value,
+                            pcm_write_lines=result.pcm_write_lines)
         if self.verbose:
-            print("  " + result.describe())
+            narrate("  %s", result.describe())
         return result
 
     def pcm_writes(self, benchmark: str, collector: str = "PCM-Only",
@@ -87,7 +114,17 @@ class ExperimentRunner:
 
     @property
     def runs_executed(self) -> int:
-        return len(self._cache)
+        """Deprecated alias for :attr:`executions`.
+
+        Historically this returned the cache size, conflating "runs
+        executed" with "configurations cached" (a cached hit is not an
+        execution).  Use :attr:`executions` and :attr:`cache_hits`.
+        """
+        warnings.warn(
+            "ExperimentRunner.runs_executed is deprecated; use "
+            ".executions (fresh runs) or .cache_hits instead",
+            DeprecationWarning, stacklevel=2)
+        return self.executions
 
 
 #: Module-level runner shared by the experiment scripts and benchmarks,

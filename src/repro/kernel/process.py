@@ -46,6 +46,7 @@ class SimThread:
         for vline in range(first, last + 1):
             base = line_map.get(vline >> LINES_PER_PAGE_SHIFT)
             if base is None:
+                self.process.kernel.page_faults += 1
                 raise PageFault(vline << 6)
             cycles += access_line(base + (vline & LINE_OFFSET_MASK), is_write)
         self.cycles += cycles

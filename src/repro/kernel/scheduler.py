@@ -35,6 +35,8 @@ class Scheduler:
         self._rng = random.Random(seed)
         self.jitter = jitter
         self.rounds = 0
+        #: Quanta handed to instances (one per ``next()`` dispatch).
+        self.dispatches = 0
 
     def run(self, instances: Sequence[InstanceGenerator],
             on_round: Optional[Callable[[int], None]] = None) -> None:
@@ -47,6 +49,7 @@ class Scheduler:
             finished: List[InstanceGenerator] = []
             for index in order:
                 instance = runnable[index]
+                self.dispatches += 1
                 try:
                     next(instance)
                 except StopIteration:

@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.config import PAGE_SHIFT, PAGE_SIZE
 from repro.kernel.process import Process
 from repro.machine.numa import NumaMachine
+from repro.observability.trace import TRACER
 
 
 class MBindError(Exception):
@@ -27,6 +28,14 @@ class Kernel:
         self.machine = machine
         self.processes: List[Process] = []
         self._next_pid = 1
+        # Syscall/fault counters, published to the metrics registry by
+        # the platform at the end of a run.
+        self.mmap_calls = 0
+        self.munmap_calls = 0
+        self.retag_calls = 0
+        self.pages_mapped = 0
+        self.pages_unmapped = 0
+        self.page_faults = 0
 
     def create_process(self, affinity_socket: int = 0) -> Process:
         """Fork a new process bound to ``affinity_socket``."""
@@ -57,6 +66,11 @@ class Kernel:
                 node.tag_frame(frame, tag)
             process.page_table.map_page(vpage, node_id, frame,
                                         node.frame_to_paddr(frame))
+        self.mmap_calls += 1
+        self.pages_mapped += length >> PAGE_SHIFT
+        if TRACER.enabled:
+            TRACER.event("kernel.mbind", pid=process.pid, vaddr=vaddr,
+                         length=length, node=node_id, tag=tag)
 
     def retag_range(self, process: Process, vaddr: int, length: int,
                     tag: str) -> None:
@@ -72,6 +86,7 @@ class Kernel:
         for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
             node_id, frame = process.page_table.entry(vpage)
             self.machine.nodes[node_id].tag_frame(frame, tag)
+        self.retag_calls += 1
 
     def munmap(self, process: Process, vaddr: int, length: int) -> None:
         """Unmap a range, returning its frames to their nodes."""
@@ -82,6 +97,8 @@ class Kernel:
         for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
             node_id, frame = process.page_table.unmap_page(vpage)
             self.machine.nodes[node_id].free_frame(frame)
+        self.munmap_calls += 1
+        self.pages_unmapped += length >> PAGE_SHIFT
 
     def reclaim_process(self, process: Process) -> None:
         """Tear down a process: free all frames, drop it from the table."""

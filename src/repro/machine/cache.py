@@ -35,6 +35,21 @@ class CacheStats:
         total = self.accesses
         return self.misses / total if total else 0.0
 
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counter snapshot for reports and the metrics registry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class CacheLevel:
     """One level of a write-back, write-allocate cache.

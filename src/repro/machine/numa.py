@@ -76,7 +76,10 @@ class CorePath:
             return latency.llc_hit
         node = node_of_line(line)
         machine.nodes[node].record_read(line)
-        return latency.memory_latency(remote=node != self.socket.memory.node_id)
+        remote = node != self.socket.memory.node_id
+        if remote:
+            machine.qpi_crossings += 1
+        return latency.memory_latency(remote=remote)
 
     def drain(self) -> None:
         """Flush the private cache into the LLC (end-of-run hygiene)."""
@@ -113,6 +116,9 @@ class NumaMachine:
         #: Optional hook fired on every memory write (line address); the
         #: write-rate monitor and tests subscribe here.
         self.write_listeners: List[Callable[[int], None]] = []
+        #: Demand misses served by a remote socket's memory (the QPI
+        #: hops the emulator uses as its PCM-latency stand-in).
+        self.qpi_crossings = 0
         self._core_caches: Dict[int, int] = {}
         self.private_cache_factory: Optional[Callable[[], CacheLevel]] = None
 
@@ -140,6 +146,7 @@ class NumaMachine:
     def reset_counters(self) -> None:
         for node in self.nodes:
             node.reset_counters()
+        self.qpi_crossings = 0
 
     def node_writes(self, node_id: int) -> int:
         """Lines written to ``node_id`` since the last reset."""

@@ -1,0 +1,38 @@
+"""Observability: metrics, tracing, narration, and run reports.
+
+The paper's methodology is measurement-first — ``pcm-memory`` counters,
+per-socket write rates, GC pause breakdowns (Sections III-B, V) — and
+this package is the reproduction's equivalent of that tooling:
+
+* :mod:`repro.observability.metrics` — a process-wide registry of
+  named counters, gauges, and histograms with hierarchical dotted
+  names (``machine.socket0.llc.hits``, ``kernel.page_faults``,
+  ``runner.cache.hits``).  Cheap enough to leave always-on.
+* :mod:`repro.observability.trace` — an event tracer emitting
+  timestamped spans and events (GC phases, mbind calls, monitor
+  samples, experiment runs) into a bounded ring buffer with JSON-lines
+  export.  Disabled by default; instrumented hot paths pay only a
+  ``TRACER.enabled`` boolean check.
+* :mod:`repro.observability.log` — the ``logging``-based narrator used
+  instead of bare ``print`` so library consumers can silence or
+  redirect progress output.
+* :mod:`repro.observability.report` — machine-readable run reports
+  (the ``repro run --json`` payload).
+"""
+
+from repro.observability.log import enable_console, get_logger, narrate
+from repro.observability.metrics import METRICS, MetricsRegistry, sanitize
+from repro.observability.report import run_report
+from repro.observability.trace import TRACER, Tracer
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "TRACER",
+    "Tracer",
+    "enable_console",
+    "get_logger",
+    "narrate",
+    "run_report",
+    "sanitize",
+]

@@ -1,0 +1,66 @@
+"""The ``logging``-based narrator.
+
+Library code must never ``print``: consumers embedding the emulator (a
+pytest session reproducing every figure, a service running sweeps)
+need to silence or redirect progress output.  All narration goes
+through the ``"repro"`` logger; the CLI attaches a console handler via
+:func:`enable_console`, and everyone else configures standard
+``logging`` as they like.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root logger name for the whole package.
+LOGGER_NAME = "repro"
+
+_logger = logging.getLogger(LOGGER_NAME)
+#: Marker attribute identifying handlers installed by enable_console.
+_CONSOLE_MARK = "_repro_console_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``get_logger("harness")``)."""
+    return _logger.getChild(name) if name else _logger
+
+
+def narrate(message: str, *args) -> None:
+    """Emit one line of progress narration at INFO level."""
+    _logger.info(message, *args)
+
+
+def enable_console(level: int = logging.INFO,
+                   stream=None) -> logging.Handler:
+    """Attach a plain console handler to the ``repro`` logger.
+
+    Idempotent: a second call re-uses (and re-levels) the existing
+    handler.  Returns the handler so callers can detach it.
+    """
+    for handler in _logger.handlers:
+        if getattr(handler, _CONSOLE_MARK, False):
+            handler.setLevel(level)
+            _logger.setLevel(min(_logger.level or level, level))
+            return handler
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.setLevel(level)
+    setattr(handler, _CONSOLE_MARK, True)
+    _logger.addHandler(handler)
+    _logger.setLevel(level)
+    return handler
+
+
+def disable_console() -> None:
+    """Remove any handler installed by :func:`enable_console`."""
+    for handler in list(_logger.handlers):
+        if getattr(handler, _CONSOLE_MARK, False):
+            _logger.removeHandler(handler)
+
+
+def set_level(level: int) -> None:
+    """Set the narrator's level (e.g. ``logging.WARNING`` to quiet it)."""
+    _logger.setLevel(level)

@@ -1,0 +1,176 @@
+"""Event tracer: timestamped spans and events in a ring buffer.
+
+The tracer is the reproduction's flight recorder.  Instrumented sites
+across the stack — GC phases, ``mbind`` calls, write-rate monitor
+samples, experiment runs — emit records into a bounded
+:class:`collections.deque`; ``repro trace <experiment>`` exports them
+as JSON lines (one object per record).
+
+Tracing is **off by default** and the singleton :data:`TRACER` starts
+disabled, so the hot access path pays only an attribute load and a
+boolean check::
+
+    if TRACER.enabled:
+        TRACER.event("kernel.mbind", node=node_id)
+
+Record schema (one JSON object per line when exported):
+
+``{"type": "span", "name": ..., "ts": ..., "dur": ..., "attrs": {...}}``
+``{"type": "event", "name": ..., "ts": ..., "attrs": {...}}``
+
+``ts`` is a host monotonic timestamp (``time.perf_counter`` seconds);
+``dur`` is the span length in the same units.  Simulated quantities
+(cycle counts, line counts) travel in ``attrs``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Default ring-buffer capacity (records, not bytes).
+DEFAULT_CAPACITY = 65536
+
+
+class Tracer:
+    """A bounded in-memory trace buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; older records are dropped first.
+    clock:
+        Timestamp source (injectable for deterministic tests).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock=time.perf_counter) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        #: Hot-path guard: instrumented sites check this boolean before
+        #: building any record.
+        self.enabled = False
+        self.capacity = capacity
+        self._clock = clock
+        self._records: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the ring buffer, keeping the newest records."""
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._records = deque(self._records, maxlen=capacity)
+
+    @contextmanager
+    def capture(self, clear: bool = True) -> Iterator["Tracer"]:
+        """Enable tracing for a ``with`` block, restoring state after."""
+        if clear:
+            self.clear()
+        was_enabled = self.enabled
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = was_enabled
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        record: Dict = {"type": "event", "name": name, "ts": self._clock()}
+        if attrs:
+            record["attrs"] = attrs
+        self._append(record)
+
+    def begin(self) -> float:
+        """Timestamp for a hand-rolled span (pairs with :meth:`complete`)."""
+        return self._clock()
+
+    def complete(self, name: str, start: float, **attrs) -> None:
+        """Record a span that started at ``start`` and ends now."""
+        if not self.enabled:
+            return
+        now = self._clock()
+        record: Dict = {"type": "span", "name": name, "ts": start,
+                        "dur": now - start}
+        if attrs:
+            record["attrs"] = attrs
+        self._append(record)
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Optional[Dict]]:
+        """Context-manager form of :meth:`begin`/:meth:`complete`.
+
+        Yields the mutable ``attrs`` dict so the body can attach
+        results, or ``None`` while tracing is disabled.
+        """
+        if not self.enabled:
+            yield None
+            return
+        start = self._clock()
+        try:
+            yield attrs
+        finally:
+            self.complete(name, start, **attrs)
+
+    # ------------------------------------------------------------------
+    # Reading / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, kind: Optional[str] = None,
+                prefix: str = "") -> List[Dict]:
+        """Buffered records, optionally filtered by type and name prefix."""
+        return [r for r in self._records
+                if (kind is None or r["type"] == kind)
+                and r["name"].startswith(prefix)]
+
+    def spans(self, prefix: str = "") -> List[Dict]:
+        return self.records("span", prefix)
+
+    def events(self, prefix: str = "") -> List[Dict]:
+        return self.records("event", prefix)
+
+    def to_jsonl(self) -> str:
+        """Every buffered record as JSON lines (oldest first)."""
+        return "\n".join(json.dumps(r, sort_keys=True, default=str)
+                         for r in self._records)
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the buffer to ``path``; returns records written."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self._records)
+
+
+#: The process-wide tracer every instrumented site records into.
+#: Starts disabled: the instrumentation cost is one boolean check.
+TRACER = Tracer()

@@ -29,6 +29,7 @@ from repro.config import DEFAULT_SCALE_CONFIG, ScaleConfig
 from repro.kernel.addressspace import AddressSpaceLayout
 from repro.kernel.process import SimThread
 from repro.kernel.vm import Kernel
+from repro.observability.trace import TRACER
 from repro.runtime.heap import HybridHeap, OutOfMemoryError
 from repro.runtime.objectmodel import LOS_THRESHOLD, Obj, object_size
 
@@ -185,21 +186,33 @@ class JavaVM:
         self.remset = survivors
 
     def minor_collect(self) -> None:
+        tracer = TRACER
+        start = tracer.begin() if tracer.enabled else 0.0
         before = sum(t.cycles for t in self.gc_threads)
         self.collector.minor_collect(self)
         self.stats.minor_gcs += 1
         pause = sum(t.cycles for t in self.gc_threads) - before
         self.stats.gc_cycles += pause
         self.stats.pauses.append(pause // len(self.gc_threads))
+        if tracer.enabled:
+            tracer.complete("gc.minor", start,
+                            collector=self.collector.config.name,
+                            pause_cycles=pause // len(self.gc_threads))
 
     def full_collect(self) -> None:
         # stats.full_gcs is counted inside mark_and_sweep, which also
         # runs on emergency (allocation-failure) collections.
+        tracer = TRACER
+        start = tracer.begin() if tracer.enabled else 0.0
         before = sum(t.cycles for t in self.gc_threads)
         self.collector.full_collect(self)
         pause = sum(t.cycles for t in self.gc_threads) - before
         self.stats.gc_cycles += pause
         self.stats.pauses.append(pause // len(self.gc_threads))
+        if tracer.enabled:
+            tracer.complete("gc.full", start,
+                            collector=self.collector.config.name,
+                            pause_cycles=pause // len(self.gc_threads))
 
     # ------------------------------------------------------------------
     # Mutator interface

@@ -33,6 +33,43 @@ class TestSampling:
         monitor.reset()
         assert monitor.samples == []
 
+    def test_samples_are_monotone_cumulative(self, monitor, kernel):
+        node = kernel.machine.nodes[1]
+        for index in range(5):
+            for _ in range(index * 3):
+                node.record_write(0)
+            monitor.sample(index)
+        series = [s.node_writes for s in monitor.samples]
+        for earlier, later in zip(series, series[1:]):
+            for node_id in range(len(earlier)):
+                assert later[node_id] >= earlier[node_id]
+
+    def test_noise_lands_only_on_socket0(self, monitor, kernel):
+        pcm_before = kernel.machine.nodes[1].write_lines
+        for index in range(50):
+            monitor.sample(index)
+        kernel.machine.flush_all([monitor.thread.core_path])
+        assert kernel.machine.nodes[0].write_lines > 0
+        assert kernel.machine.nodes[1].write_lines == pcm_before
+
+    def test_sample_increments_registry_counter(self, monitor):
+        from repro.observability.metrics import METRICS
+
+        before = METRICS.value("monitor.samples")
+        monitor.sample(0)
+        monitor.sample(1)
+        assert METRICS.value("monitor.samples") == before + 2
+
+    def test_sample_emits_trace_event(self, monitor, kernel):
+        from repro.observability.trace import TRACER
+
+        kernel.machine.nodes[1].record_write(0)
+        with TRACER.capture() as tracer:
+            monitor.sample(round_index=7)
+        (event,) = tracer.events("monitor.sample")
+        assert event["attrs"]["round"] == 7
+        assert event["attrs"]["node_writes"][1] == 1
+
 
 class TestRateSeries:
     def test_series_from_samples(self, monitor, kernel):
@@ -49,6 +86,27 @@ class TestRateSeries:
 
     def test_empty_series(self, monitor):
         assert monitor.write_rate_series(1000, 1e9) == []
+
+    def test_series_length_is_samples_minus_one(self, monitor):
+        for index in range(6):
+            monitor.sample(index)
+        rates = monitor.write_rate_series(cycles_per_round=1_000,
+                                          frequency_hz=1e9)
+        assert len(rates) == len(monitor.samples) - 1
+
+    def test_series_units_are_megabytes_per_second(self, monitor, kernel):
+        node = kernel.machine.nodes[1]
+        monitor.sample(0)
+        monitor.sample(1)  # no PCM writes in the first interval
+        for _ in range(2000):
+            node.record_write(0)
+        monitor.sample(2)
+        # One round at 1e6 cycles / 1 GHz = 1 ms per interval.
+        rates = monitor.write_rate_series(cycles_per_round=1_000_000,
+                                          frequency_hz=1e9)
+        assert rates[0] == pytest.approx(0.0)
+        # 2000 lines * 64 B over 1 ms = 128 MB/s.
+        assert rates[1] == pytest.approx(128.0)
 
     def test_shutdown_releases_buffer(self, kernel):
         monitor = WriteRateMonitor(kernel)

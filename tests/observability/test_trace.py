@@ -1,0 +1,119 @@
+"""Tests for the event tracer."""
+
+import json
+
+import pytest
+
+from repro.observability.trace import TRACER, Tracer
+
+
+@pytest.fixture
+def tracer():
+    """A private tracer with a deterministic clock."""
+    ticks = iter(range(1000))
+    return Tracer(capacity=16, clock=lambda: float(next(ticks)))
+
+
+class TestDisabled:
+    def test_starts_disabled(self):
+        assert Tracer().enabled is False
+        assert TRACER.enabled is False
+
+    def test_disabled_records_nothing(self, tracer):
+        tracer.event("kernel.mbind", node=1)
+        tracer.complete("gc.minor", tracer.begin())
+        with tracer.span("platform.run"):
+            pass
+        assert len(tracer) == 0
+
+
+class TestRecording:
+    def test_event_record(self, tracer):
+        tracer.enable()
+        tracer.event("monitor.sample", round=8)
+        (record,) = tracer.records()
+        assert record["type"] == "event"
+        assert record["name"] == "monitor.sample"
+        assert record["attrs"] == {"round": 8}
+
+    def test_begin_complete_span(self, tracer):
+        tracer.enable()
+        start = tracer.begin()
+        tracer.complete("gc.minor", start, collector="KG-W")
+        (span,) = tracer.spans()
+        assert span["ts"] == start
+        assert span["dur"] > 0
+        assert span["attrs"]["collector"] == "KG-W"
+
+    def test_span_context_manager(self, tracer):
+        tracer.enable()
+        with tracer.span("runner.run", benchmark="fop") as attrs:
+            attrs["cached"] = False
+        (span,) = tracer.spans("runner.")
+        assert span["attrs"] == {"benchmark": "fop", "cached": False}
+
+    def test_prefix_and_kind_filters(self, tracer):
+        tracer.enable()
+        tracer.event("kernel.mbind")
+        tracer.complete("gc.minor", tracer.begin())
+        tracer.complete("gc.full", tracer.begin())
+        assert len(tracer.spans("gc.")) == 2
+        assert len(tracer.events()) == 1
+        assert tracer.records(prefix="kernel.")[0]["name"] == "kernel.mbind"
+
+
+class TestRingBuffer:
+    def test_bounded_and_counts_drops(self, tracer):
+        tracer.enable()
+        for index in range(20):
+            tracer.event("e", i=index)
+        assert len(tracer) == 16
+        assert tracer.dropped == 4
+        # Oldest records were dropped, newest retained.
+        assert tracer.records()[-1]["attrs"]["i"] == 19
+
+    def test_set_capacity_keeps_newest(self, tracer):
+        tracer.enable()
+        for index in range(10):
+            tracer.event("e", i=index)
+        tracer.set_capacity(4)
+        assert [r["attrs"]["i"] for r in tracer.records()] == [6, 7, 8, 9]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestCapture:
+    def test_capture_restores_state(self, tracer):
+        with tracer.capture() as active:
+            assert active.enabled
+            active.event("x")
+        assert tracer.enabled is False
+        assert len(tracer) == 1
+
+    def test_capture_clears_by_default(self, tracer):
+        tracer.enable()
+        tracer.event("old")
+        tracer.disable()
+        with tracer.capture():
+            pass
+        assert len(tracer) == 0
+
+
+class TestExport:
+    def test_every_line_is_json(self, tracer, tmp_path):
+        tracer.enable()
+        tracer.event("kernel.mbind", node=1, tag="nursery")
+        tracer.complete("gc.minor", tracer.begin(), pause_cycles=10)
+        path = tmp_path / "trace.jsonl"
+        written = tracer.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert {r["type"] for r in parsed} == {"event", "span"}
+
+    def test_export_empty_buffer(self, tracer, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert tracer.export_jsonl(str(path)) == 0
+        assert path.read_text() == ""

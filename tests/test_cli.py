@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -42,3 +44,80 @@ class TestReproduce:
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["reproduce", "table99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_experiment_lists_sorted_names(self, capsys):
+        from repro.experiments import EXPERIMENTS
+
+        assert main(["reproduce", "table99"]) == 2
+        err = capsys.readouterr().err
+        assert ", ".join(sorted(EXPERIMENTS)) in err
+        assert "'all'" in err
+        # The raw container repr must not leak into the message.
+        assert "[" not in err
+
+
+class TestRunJson:
+    def test_json_report_is_machine_readable(self, capsys):
+        assert main(["run", "-b", "fop", "-c", "KG-W", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"].startswith("repro.run_report/")
+        assert report["benchmark"] == "fop"
+        sockets = {s["node"]: s for s in report["sockets"]}
+        for node in (0, 1):
+            assert "read_lines" in sockets[node]
+            assert "write_lines" in sockets[node]
+            assert "hit_rate" in sockets[node]["llc"]
+        assert report["gc"]["phases"], "expected GC phase spans"
+        assert all(p["name"].startswith("gc.") for p in report["gc"]["phases"])
+        assert report["wall_time"]["host_seconds"] > 0
+        assert report["wall_time"]["emulated_seconds"] > 0
+
+    def test_json_run_leaves_tracer_disabled(self, capsys):
+        from repro.observability.trace import TRACER
+
+        assert main(["run", "-b", "fop", "-c", "KG-N", "--json"]) == 0
+        capsys.readouterr()
+        assert TRACER.enabled is False
+
+
+class TestTrace:
+    def test_trace_exports_parseable_spans(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "table1", "--out", str(out)]) == 0
+        assert "table1" in capsys.readouterr().out
+        for line in out.read_text().splitlines():
+            json.loads(line)
+
+    def test_trace_writes_span_per_run(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "writes_breakdown", "--out", str(out)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        runs = [r for r in records
+                if r["type"] == "span" and r["name"] == "runner.run"]
+        # writes_breakdown measures lusearch at 1, 2, and 4 instances.
+        assert len(runs) == 3
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_rejects_nonpositive_capacity(self, capsys):
+        assert main(["trace", "table1", "--capacity", "0"]) == 2
+        assert "--capacity must be positive" in capsys.readouterr().err
+
+    def test_trace_unwritable_output_path(self, tmp_path, capsys):
+        out = tmp_path / "no-such-dir" / "t.jsonl"
+        assert main(["trace", "table1", "--out", str(out)]) == 1
+        assert "cannot write trace" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_renders_registry_table(self, capsys):
+        assert main(["stats", "-b", "fop", "-c", "KG-N"]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics registry:" in out
+        assert "machine.socket0.llc.hits" in out
+        assert "kernel.mmap_calls" in out
+        assert "gc.kgn.minor_collections" in out

@@ -32,7 +32,7 @@ class TestTable1:
         runner = ExperimentRunner()
         output = table1.run(runner)
         assert isinstance(output, ExperimentOutput)
-        assert runner.runs_executed == 0  # pure configuration
+        assert runner.executions == 0  # pure configuration
         assert "Nursery" in output.text
 
     def test_data_matches_policy(self):
