@@ -7,6 +7,7 @@
     python -m repro run -b lusearch -c KG-W --json
     python -m repro trace figure4 --out trace.jsonl
     python -m repro stats -b fop -c KG-N
+    python -m repro sweep -b lusearch,fop -c KG-N,KG-W -j 4
     python -m repro reproduce figure7
     python -m repro reproduce all
     python -m repro describe
@@ -77,6 +78,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="measure one configuration and render the "
                       "metrics registry as a table")
     _add_measurement_args(stats)
+
+    sweep = sub.add_parser(
+        "sweep", help="measure a benchmark x collector x instances "
+                      "grid, fanning runs across worker processes")
+    sweep.add_argument("-b", "--benchmarks", default="lusearch",
+                       help="comma-separated benchmark names")
+    sweep.add_argument("-c", "--collectors", default="PCM-Only",
+                       help="comma-separated collector names")
+    sweep.add_argument("-n", "--instances", default="1",
+                       help="comma-separated instance counts")
+    sweep.add_argument("--dataset", default="default",
+                       choices=["default", "large"])
+    sweep.add_argument("--mode", default="emulation",
+                       choices=["emulation", "simulation"])
+    sweep.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes (default: one per core; "
+                            "1 forces serial execution)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit one JSON object per row instead of "
+                            "the table")
     return parser
 
 
@@ -214,6 +235,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import ExperimentRunner, RunKey
+
+    mode = (EmulationMode.EMULATION if args.mode == "emulation"
+            else EmulationMode.SIMULATION)
+    benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    collectors = [c.strip() for c in args.collectors.split(",") if c.strip()]
+    try:
+        instance_counts = [int(n) for n in args.instances.split(",")]
+    except ValueError:
+        print(f"invalid --instances list: {args.instances!r}",
+              file=sys.stderr)
+        return 2
+    unknown = [c for c in collectors if c not in ALL_COLLECTOR_NAMES]
+    if unknown:
+        print(f"unknown collectors: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    keys = [RunKey(benchmark, collector, count, args.dataset, mode)
+            for benchmark in benchmarks
+            for collector in collectors
+            for count in instance_counts]
+    runner = ExperimentRunner()
+    results = runner.run_many(keys, max_workers=args.jobs)
+    if args.json:
+        for result in results:
+            print(json.dumps({
+                "benchmark": result.benchmark,
+                "collector": result.collector,
+                "instances": result.instances,
+                "mode": result.mode.value,
+                "pcm_write_lines": result.pcm_write_lines,
+                "dram_write_lines": result.dram_write_lines,
+                "pcm_write_rate_mbs": result.pcm_write_rate_mbs,
+                "qpi_crossings": result.qpi_crossings,
+                "elapsed_seconds": result.elapsed_seconds,
+            }, sort_keys=True))
+        return 0
+    for result in results:
+        print(result.describe())
+    print(f"{runner.executions} runs, {runner.cache_hits} cache hits")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     result = _measure(args)
     print(result.describe())
@@ -234,6 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_reproduce(args.experiment)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "stats":
         return _cmd_stats(args)
     return 2  # pragma: no cover - argparse enforces choices

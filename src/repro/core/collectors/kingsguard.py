@@ -46,11 +46,11 @@ class KingsguardCollector(Collector):
                     if o.write_count >= self.LARGE_MIGRATION_WRITES]:
             old_addr = obj.addr
             thread = vm.gc_thread()
-            thread.access(old_addr, obj.size, False)
+            thread.access_block(old_addr, obj.size, False)
             if not los_dram.adopt(obj):
                 continue  # DRAM large space full; leave the rest in PCM
             los_pcm.release_object(obj, at_addr=old_addr)
-            thread.access(obj.addr, obj.size, True)
+            thread.access_block(obj.addr, obj.size, True)
             obj.write_count = 0
             vm.stats.large_migrations += 1
             vm.stats.bytes_copied += obj.size

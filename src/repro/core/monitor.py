@@ -14,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.config import PAGE_SIZE
+from repro.config import LINE_SIZE, PAGE_SIZE
 from repro.kernel.process import Process, SimThread
 from repro.kernel.vm import Kernel
+from repro.machine.topology import PCM_NODE
 from repro.observability.metrics import METRICS
 from repro.observability.trace import TRACER
 
@@ -83,15 +84,17 @@ class WriteRateMonitor:
         self.samples = []
 
     def write_rate_series(self, cycles_per_round: float,
-                          frequency_hz: float) -> List[float]:
-        """MB/s on the PCM node between consecutive samples."""
+                          frequency_hz: float,
+                          node_id: int = PCM_NODE) -> List[float]:
+        """MB/s on ``node_id`` (default: PCM) between consecutive samples."""
         rates: List[float] = []
         for earlier, later in zip(self.samples, self.samples[1:]):
-            delta_lines = later.node_writes[1] - earlier.node_writes[1]
+            delta_lines = (later.node_writes[node_id]
+                           - earlier.node_writes[node_id])
             delta_rounds = later.round_index - earlier.round_index
             seconds = delta_rounds * cycles_per_round / frequency_hz
             if seconds > 0:
-                rates.append(delta_lines * 64 / seconds / 1e6)
+                rates.append(delta_lines * LINE_SIZE / seconds / 1e6)
         return rates
 
     def shutdown(self) -> None:

@@ -214,6 +214,11 @@ class HybridMemoryPlatform:
         ``app_factory(instance_index)`` must return a fresh benchmark
         instance (with its own copy of the dataset, per the paper's
         multiprogramming methodology).
+
+        Teardown (VM shutdown, monitor shutdown, wear-tracker detach)
+        runs even when an iteration raises, so a partial run leaves no
+        leaked frames, live monitor process, or dangling write
+        listeners behind.
         """
         if instances < 1:
             raise ValueError("need at least one instance")
@@ -221,125 +226,140 @@ class HybridMemoryPlatform:
         emulating = self.mode is EmulationMode.EMULATION
         machine = self._machine_spec().build()
         kernel = Kernel(machine)
+        #: Exposed for tests that inject faults mid-run and then verify
+        #: the platform released every frame and monitor process.
+        self.debug_last_kernel = kernel
         monitor = WriteRateMonitor(kernel) if emulating else None
         config = collector_config(collector)
 
         vms: List[object] = []
         apps: List[object] = []
         ctxs = []
-        for index in range(instances):
-            app = self._make_app(app_factory, index)
-            if getattr(app, "runtime", "managed") == "native":
-                vm = self._build_native(kernel, app, collector)
-            else:
-                vm = self._build_managed(kernel, app, collector, config,
-                                         index)
-            ctx = vm.mutator(seed=self.seeds.derive(self.seeds.workload,
-                                                    index + 1000))
-            app.setup(ctx)
-            vms.append(vm)
-            apps.append(app)
-            ctxs.append(ctx)
-
-        # ---- iteration 1: warm-up (replay compilation's compile pass)
-        warmup = Scheduler(seed=self.seeds.scheduler, jitter=emulating)
-        warmup.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)])
-
-        # ---- barrier: reset counters; snapshot cycles and stats
-        machine.reset_counters()
-        llc_marks = [(s.llc.stats.hits, s.llc.stats.misses,
-                      s.llc.stats.evictions, s.llc.stats.dirty_evictions)
-                     for s in machine.sockets]
-        if monitor is not None:
-            monitor.reset()
         wear_tracker = None
-        if self.track_wear:
-            from repro.machine.wear import WearTracker
-            wear_tracker = WearTracker(machine, PCM_NODE)
-        stat_marks = [vm.stats.copy() for vm in vms]
-        mutator_marks = [sum(t.cycles for t in vm.app_threads) for vm in vms]
+        try:
+            for index in range(instances):
+                app = self._make_app(app_factory, index)
+                if getattr(app, "runtime", "managed") == "native":
+                    vm = self._build_native(kernel, app, collector)
+                else:
+                    vm = self._build_managed(kernel, app, collector, config,
+                                             index)
+                # Register the VM before app.setup() so a mid-setup
+                # failure still tears it down in the finally block.
+                vms.append(vm)
+                ctx = vm.mutator(seed=self.seeds.derive(self.seeds.workload,
+                                                        index + 1000))
+                app.setup(ctx)
+                apps.append(app)
+                ctxs.append(ctx)
 
-        # ---- iteration 2: measured, all instances starting together
-        measured = Scheduler(seed=self.seeds.scheduler + 1, jitter=emulating)
-        interval = self.monitor_interval_rounds
+            # ---- iteration 1: warm-up (replay compilation's compile pass)
+            warmup = Scheduler(seed=self.seeds.scheduler, jitter=emulating)
+            warmup.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)])
 
-        def on_round(round_index: int) -> None:
-            if monitor is not None and round_index % interval == 0:
-                monitor.sample(round_index)
+            # ---- barrier: reset counters; snapshot cycles and stats
+            machine.reset_counters()
+            llc_marks = [(s.llc.stats.hits, s.llc.stats.misses,
+                          s.llc.stats.evictions, s.llc.stats.dirty_evictions)
+                         for s in machine.sockets]
+            if monitor is not None:
+                monitor.reset()
+            if self.track_wear:
+                from repro.machine.wear import WearTracker
+                wear_tracker = WearTracker(machine, PCM_NODE)
+            stat_marks = [vm.stats.copy() for vm in vms]
+            mutator_marks = [sum(t.cycles for t in vm.app_threads)
+                             for vm in vms]
 
-        measured.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)],
-                     on_round=on_round)
+            # ---- iteration 2: measured, all instances starting together
+            measured = Scheduler(seed=self.seeds.scheduler + 1,
+                                 jitter=emulating)
+            interval = self.monitor_interval_rounds
 
-        # ---- gather results
-        elapsed_cycles = 0.0
-        instance_stats: List[RuntimeStats] = []
-        for vm, stat_mark, mutator_mark in zip(vms, stat_marks, mutator_marks):
-            vm.finish()
-            delta = vm.stats.snapshot_delta(stat_mark)
-            instance_stats.append(delta)
-            mutator_cycles = (sum(t.cycles for t in vm.app_threads)
-                              - mutator_mark)
-            gc_thread_count = len(getattr(vm, "gc_threads", ())) or 1
-            cycles = (mutator_cycles / len(vm.app_threads)
-                      + delta.gc_cycles / gc_thread_count)
-            elapsed_cycles = max(elapsed_cycles, cycles)
+            def on_round(round_index: int) -> None:
+                if monitor is not None and round_index % interval == 0:
+                    monitor.sample(round_index)
 
-        pcm_node = machine.nodes[PCM_NODE]
-        dram_node = machine.nodes[DRAM_NODE]
-        elapsed_seconds = self.latency.seconds(int(elapsed_cycles))
-        monitor_rates: List[float] = []
-        if monitor is not None and measured.rounds:
-            cycles_per_round = elapsed_cycles / measured.rounds
-            monitor_rates = monitor.write_rate_series(
-                cycles_per_round, self.latency.frequency_hz)
+            measured.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)],
+                         on_round=on_round)
 
-        llc_stats: List[Dict[str, object]] = []
-        for socket, (h0, m0, e0, d0) in zip(machine.sockets, llc_marks):
-            stats = socket.llc.stats
-            hits, misses = stats.hits - h0, stats.misses - m0
-            accesses = hits + misses
-            llc_stats.append({
-                "socket": socket.socket_id,
-                "hits": hits,
-                "misses": misses,
-                "evictions": stats.evictions - e0,
-                "dirty_evictions": stats.dirty_evictions - d0,
-                "hit_rate": hits / accesses if accesses else 0.0,
-            })
-        node_counters: List[Dict[str, object]] = [{
-            "node": node.node_id,
-            "kind": node.kind,
-            "read_lines": node.read_lines,
-            "write_lines": node.write_lines,
-        } for node in machine.nodes]
+            # ---- gather results
+            elapsed_cycles = 0.0
+            instance_stats: List[RuntimeStats] = []
+            for vm, stat_mark, mutator_mark in zip(vms, stat_marks,
+                                                   mutator_marks):
+                vm.finish()
+                delta = vm.stats.snapshot_delta(stat_mark)
+                instance_stats.append(delta)
+                mutator_cycles = (sum(t.cycles for t in vm.app_threads)
+                                  - mutator_mark)
+                gc_thread_count = len(getattr(vm, "gc_threads", ())) or 1
+                cycles = (mutator_cycles / len(vm.app_threads)
+                          + delta.gc_cycles / gc_thread_count)
+                elapsed_cycles = max(elapsed_cycles, cycles)
 
-        result = MeasurementResult(
-            benchmark=getattr(apps[0], "name", "custom"),
-            collector=collector,
-            mode=self.mode,
-            instances=instances,
-            pcm_write_lines=pcm_node.write_lines,
-            dram_write_lines=dram_node.write_lines,
-            elapsed_seconds=elapsed_seconds,
-            per_tag_pcm_writes=dict(pcm_node.writes_by_tag),
-            per_tag_dram_writes=dict(dram_node.writes_by_tag),
-            instance_stats=instance_stats,
-            monitor_rates_mbs=monitor_rates,
-            node_counters=node_counters,
-            llc_stats=llc_stats,
-            qpi_crossings=machine.qpi_crossings,
-        )
-        if wear_tracker is not None:
-            from repro.machine.wear import effective_endurance_efficiency
-            result.wear_imbalance = wear_tracker.imbalance()
-            result.wear_efficiency = effective_endurance_efficiency(
-                wear_tracker)
-            wear_tracker.detach()
-        self._publish_space_metrics(vms)
-        for vm in vms:
-            vm.shutdown()
-        if monitor is not None:
-            monitor.shutdown()
+            pcm_node = machine.nodes[PCM_NODE]
+            dram_node = machine.nodes[DRAM_NODE]
+            elapsed_seconds = self.latency.seconds(int(elapsed_cycles))
+            monitor_rates: List[float] = []
+            if monitor is not None and measured.rounds:
+                cycles_per_round = elapsed_cycles / measured.rounds
+                monitor_rates = monitor.write_rate_series(
+                    cycles_per_round, self.latency.frequency_hz)
+
+            llc_stats: List[Dict[str, object]] = []
+            for socket, (h0, m0, e0, d0) in zip(machine.sockets, llc_marks):
+                stats = socket.llc.stats
+                hits, misses = stats.hits - h0, stats.misses - m0
+                accesses = hits + misses
+                llc_stats.append({
+                    "socket": socket.socket_id,
+                    "hits": hits,
+                    "misses": misses,
+                    "evictions": stats.evictions - e0,
+                    "dirty_evictions": stats.dirty_evictions - d0,
+                    "hit_rate": hits / accesses if accesses else 0.0,
+                })
+            node_counters: List[Dict[str, object]] = [{
+                "node": node.node_id,
+                "kind": node.kind,
+                "read_lines": node.read_lines,
+                "write_lines": node.write_lines,
+            } for node in machine.nodes]
+
+            result = MeasurementResult(
+                benchmark=getattr(apps[0], "name", "custom"),
+                collector=collector,
+                mode=self.mode,
+                instances=instances,
+                pcm_write_lines=pcm_node.write_lines,
+                dram_write_lines=dram_node.write_lines,
+                elapsed_seconds=elapsed_seconds,
+                per_tag_pcm_writes=dict(pcm_node.writes_by_tag),
+                per_tag_dram_writes=dict(dram_node.writes_by_tag),
+                instance_stats=instance_stats,
+                monitor_rates_mbs=monitor_rates,
+                node_counters=node_counters,
+                llc_stats=llc_stats,
+                qpi_crossings=machine.qpi_crossings,
+            )
+            if wear_tracker is not None:
+                from repro.machine.wear import effective_endurance_efficiency
+                result.wear_imbalance = wear_tracker.imbalance()
+                result.wear_efficiency = effective_endurance_efficiency(
+                    wear_tracker)
+            self._publish_space_metrics(vms)
+        finally:
+            # Partial runs (PageFault, heap exhaustion, app bugs) must
+            # not leak frames, leave the monitor process alive, or keep
+            # the wear tracker subscribed to the write stream.  Every
+            # step here is idempotent.
+            if wear_tracker is not None:
+                wear_tracker.detach()
+            for vm in vms:
+                vm.shutdown()
+            if monitor is not None:
+                monitor.shutdown()
         result.host_seconds = time.perf_counter() - host_start
         self._publish_metrics(kernel, measured, result)
         if TRACER.enabled:

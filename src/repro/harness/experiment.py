@@ -5,6 +5,12 @@ PCM-Only single-instance runs appear in Figures 4, 5, and 6 and in
 Table III).  :class:`ExperimentRunner` memoises
 :class:`~repro.core.platform.MeasurementResult` objects by run key so a
 full reproduction pass never repeats a configuration.
+
+Independent configurations are embarrassingly parallel — each platform
+run builds its own machine, kernel, and runtime — so
+:meth:`ExperimentRunner.run_many` fans a list of run keys across a
+process pool and merges results (and worker-side metrics)
+deterministically in input order.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import DEFAULT_SCALE_CONFIG, ScaleConfig
 from repro.core.platform import (
@@ -37,6 +43,33 @@ class RunKey:
     mode: EmulationMode
     llc_size: int = 0
     scale: int = DEFAULT_SCALE_CONFIG.scale
+
+
+def _worker_run(payload: Tuple[str, str, int, str, str, int, int]
+                ) -> Tuple[MeasurementResult, Dict[str, Dict[str, float]]]:
+    """Execute one configuration in a pool worker process.
+
+    Module-level so it pickles under the default (fork or spawn) start
+    method.  The worker's global registry is reset first: pool workers
+    are reused across tasks (and fork inherits the parent's counters),
+    so without the reset a worker's snapshot would double-count earlier
+    runs when merged.
+    """
+    benchmark, collector, instances, dataset, mode_value, llc_size, \
+        scale_int = payload
+    METRICS.reset()
+    platform = HybridMemoryPlatform(mode=EmulationMode(mode_value),
+                                    scale=ScaleConfig(scale=scale_int),
+                                    llc_size_override=llc_size)
+    factory = benchmark_factory(benchmark)
+    scale = ScaleConfig(scale=scale_int)
+
+    def make_app(index: int, scale=scale):
+        return factory(index, dataset=dataset, scale=scale)
+
+    result = platform.run(make_app, collector=collector,
+                          instances=instances)
+    return result, METRICS.as_dict()
 
 
 class ExperimentRunner:
@@ -98,6 +131,74 @@ class ExperimentRunner:
         if self.verbose:
             narrate("  %s", result.describe())
         return result
+
+    def run_many(self, keys: List[RunKey],
+                 max_workers: Optional[int] = None) -> List[MeasurementResult]:
+        """Measure many configurations, fanning fresh ones across a pool.
+
+        Returns one result per input key, in input order.  Cached keys
+        are answered from the memoisation cache; duplicates within
+        ``keys`` execute once.  Fresh runs execute in worker processes
+        (each platform run owns its machine and kernel, so runs share
+        no state); each worker returns its result plus a metrics
+        snapshot, and the parent merges snapshots in input order so
+        the registry ends up identical run-to-run regardless of pool
+        scheduling.  With ``max_workers=1`` — or if the pool cannot
+        start (restricted environments) — everything runs serially
+        in-process through :meth:`run`, with identical results.
+        """
+        order: List[RunKey] = []
+        fresh: List[RunKey] = []
+        seen = set()
+        for key in keys:
+            order.append(key)
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            fresh.append(key)
+
+        serial = max_workers == 1 or len(fresh) <= 1
+        if not serial:
+            try:
+                import concurrent.futures as futures
+                payloads = [(k.benchmark, k.collector, k.instances,
+                             k.dataset, k.mode.value, k.llc_size, k.scale)
+                            for k in fresh]
+                with futures.ProcessPoolExecutor(
+                        max_workers=max_workers) as pool:
+                    outcomes = list(pool.map(_worker_run, payloads))
+            except (ImportError, OSError, PermissionError):
+                outcomes = None  # pool unavailable: serial fallback
+            if outcomes is not None:
+                # Merge in input order, mirroring what run() publishes.
+                for key, (result, snapshot) in zip(fresh, outcomes):
+                    METRICS.merge(snapshot)
+                    METRICS.inc("runner.cache.misses")
+                    METRICS.inc("runner.executions")
+                    METRICS.observe("runner.run_seconds",
+                                    result.host_seconds)
+                    self._cache[key] = result
+                    self.executions += 1
+                    if self.verbose:
+                        narrate("  %s", result.describe())
+                fresh = []
+
+        for key in fresh:  # serial fallback (and the 0/1-key cases)
+            self.run(key.benchmark, key.collector, key.instances,
+                     key.dataset, key.mode, key.llc_size,
+                     ScaleConfig(scale=key.scale))
+
+        results: List[MeasurementResult] = []
+        for key in order:
+            results.append(self._cache[key])
+        # run() counts its own cache hits; pool-path keys were never
+        # looked up through run(), so count repeats/previously-cached
+        # keys here the same way.
+        hits = len(order) - len(seen)
+        if hits:
+            self.cache_hits += hits
+            METRICS.inc("runner.cache.hits", hits)
+        return results
 
     def pcm_writes(self, benchmark: str, collector: str = "PCM-Only",
                    **kwargs) -> int:

@@ -32,6 +32,12 @@ class PageTable:
         self._line_base: Dict[int, int] = {}
         # vpage -> (node_id, frame) for unmapping and introspection
         self._entries: Dict[int, Tuple[int, int]] = {}
+        #: Translation epoch, bumped whenever an existing translation
+        #: becomes invalid (unmap).  Per-thread software TLBs compare it
+        #: before trusting a cached vpage -> line-base entry; new
+        #: mappings never invalidate old ones (remapping is an error),
+        #: so only :meth:`unmap_page` bumps it.
+        self.epoch = 0
 
     def map_page(self, vpage: int, node_id: int, frame: int,
                  frame_paddr: int) -> None:
@@ -47,6 +53,7 @@ class PageTable:
         if entry is None:
             raise PageFault(vpage << PAGE_SHIFT)
         del self._line_base[vpage]
+        self.epoch += 1
         return entry
 
     def is_mapped(self, vpage: int) -> bool:

@@ -31,6 +31,12 @@ class SimThread:
         self.process = process
         self.core_path = core_path
         self.cycles = 0
+        # Software TLB: the last vpage -> line-base translation, valid
+        # while the page table's epoch is unchanged.  Sequential touches
+        # to the same page skip the line_map dict lookup entirely.
+        self._tlb_vpage = -1
+        self._tlb_base = 0
+        self._tlb_epoch = -1
 
     @property
     def socket_id(self) -> int:
@@ -38,6 +44,72 @@ class SimThread:
 
     def access(self, vaddr: int, size: int, is_write: bool) -> int:
         """Touch ``size`` bytes at ``vaddr``; returns cycles spent."""
+        first = vaddr >> 6
+        if first != (vaddr + size - 1) >> 6:
+            return self.access_block(vaddr, size, is_write)
+        # Single-line fast path: one TLB probe, one access_line call.
+        table = self.process.page_table
+        vpage = first >> LINES_PER_PAGE_SHIFT
+        if vpage != self._tlb_vpage or table.epoch != self._tlb_epoch:
+            base = table.line_base_map.get(vpage)
+            if base is None:
+                self.process.kernel.page_faults += 1
+                raise PageFault(first << 6)
+            self._tlb_vpage = vpage
+            self._tlb_base = base
+            self._tlb_epoch = table.epoch
+        cycles = self.core_path.access_line(
+            self._tlb_base + (first & LINE_OFFSET_MASK), is_write)
+        self.cycles += cycles
+        return cycles
+
+    def access_block(self, vaddr: int, size: int, is_write: bool) -> int:
+        """Touch ``size`` bytes at ``vaddr`` through the batched engine.
+
+        Counter-identical to :meth:`access_per_line`, but the page-table
+        walk happens once per page (with the software TLB short-cutting
+        repeats) and each page-contiguous run of lines goes through
+        :meth:`~repro.machine.numa.CorePath.access_run` in one call.
+        """
+        table = self.process.page_table
+        line_map = table.line_base_map
+        access_run = self.core_path.access_run
+        first = vaddr >> 6
+        last = (vaddr + size - 1) >> 6
+        epoch = table.epoch
+        tlb_vpage = self._tlb_vpage if epoch == self._tlb_epoch else -1
+        tlb_base = self._tlb_base
+        cycles = 0
+        while first <= last:
+            vpage = first >> LINES_PER_PAGE_SHIFT
+            if vpage == tlb_vpage:
+                base = tlb_base
+            else:
+                base = line_map.get(vpage)
+                if base is None:
+                    # Like the per-line path: earlier runs of this block
+                    # have already touched the caches, the faulting
+                    # run's cycles are discarded with the exception.
+                    self.process.kernel.page_faults += 1
+                    raise PageFault(first << 6)
+                tlb_vpage = vpage
+                tlb_base = base
+            offset = first & LINE_OFFSET_MASK
+            count = min(last - first, LINE_OFFSET_MASK - offset) + 1
+            cycles += access_run(base + offset, count, is_write)
+            first += count
+        self._tlb_vpage = tlb_vpage
+        self._tlb_base = tlb_base
+        self._tlb_epoch = epoch
+        self.cycles += cycles
+        return cycles
+
+    def access_per_line(self, vaddr: int, size: int, is_write: bool) -> int:
+        """Reference per-line engine (the pre-batching implementation).
+
+        Kept as the baseline the hot-path benchmark times against and
+        the oracle the equivalence tests compare counters with.
+        """
         line_map = self.process.page_table.line_base_map
         access_line = self.core_path.access_line
         first = vaddr >> 6

@@ -9,7 +9,7 @@ every chunk it maps, so lazy faulting would only add noise.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.config import PAGE_SHIFT, PAGE_SIZE
 from repro.kernel.process import Process
@@ -60,12 +60,28 @@ class Kernel:
             raise MBindError(f"no such NUMA node: {node_id}")
         node = self.machine.nodes[node_id]
         first_page = vaddr >> PAGE_SHIFT
-        for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
-            frame = node.allocate_frame()
-            if tag is not None:
-                node.tag_frame(frame, tag)
-            process.page_table.map_page(vpage, node_id, frame,
-                                        node.frame_to_paddr(frame))
+        page_table = process.page_table
+        mapped: List[Tuple[int, int]] = []  # (vpage, frame) so far
+        try:
+            for vpage in range(first_page,
+                               first_page + (length >> PAGE_SHIFT)):
+                frame = node.allocate_frame()
+                mapped.append((vpage, frame))
+                if tag is not None:
+                    node.tag_frame(frame, tag)
+                page_table.map_page(vpage, node_id, frame,
+                                    node.frame_to_paddr(frame))
+        except Exception:
+            # Mid-range failure (typically frame exhaustion): roll back
+            # so the call is all-or-nothing — no partially-populated
+            # page table, no leaked frames.  The attempt still counts
+            # as one mmap call; no pages count as mapped.
+            for vpage, frame in reversed(mapped):
+                if page_table.is_mapped(vpage):
+                    page_table.unmap_page(vpage)
+                node.free_frame(frame)
+            self.mmap_calls += 1
+            raise
         self.mmap_calls += 1
         self.pages_mapped += length >> PAGE_SHIFT
         if TRACER.enabled:

@@ -64,7 +64,10 @@ class WearTracker:
         return self.max_wear / mean if mean else 0.0
 
     def detach(self) -> None:
-        self.machine.write_listeners.remove(self._on_write)
+        """Unsubscribe from the write stream; safe to call twice."""
+        listeners = self.machine.write_listeners
+        if self._on_write in listeners:
+            listeners.remove(self._on_write)
 
 
 class StartGapWearLeveler:

@@ -108,10 +108,10 @@ class NativeContext:
 
     def write_all(self, obj: NativeObj) -> None:
         """Initialise the whole buffer (memset/fill, done explicitly)."""
-        self.thread.access(obj.addr, obj.size, True)
+        self.thread.access_block(obj.addr, obj.size, True)
 
     def read_all(self, obj: NativeObj) -> None:
-        self.thread.access(obj.addr, obj.size, False)
+        self.thread.access_block(obj.addr, obj.size, False)
 
     def compute(self, units: int = 1) -> None:
         thread = self.thread

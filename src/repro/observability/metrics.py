@@ -220,6 +220,37 @@ class MetricsRegistry:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(lines)
 
+    def merge(self, snapshot: Dict[str, Dict[str, float]]) -> None:
+        """Fold an :meth:`as_dict` snapshot from another registry in.
+
+        Used to aggregate metrics recorded in worker processes back
+        into the parent's registry after a parallel experiment sweep:
+        counters add, gauges take the snapshot's value (last write
+        wins, matching :meth:`Gauge.set`), histograms combine their
+        count/sum/min/max summaries.  Unknown kinds raise — silently
+        dropping a worker's metrics would make parallel and serial
+        sweeps disagree.
+        """
+        for name, summary in snapshot.items():
+            kind = summary.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(summary["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(summary["value"])
+            elif kind == "histogram":
+                if not summary["count"]:
+                    continue
+                histogram = self.histogram(name)
+                histogram.count += int(summary["count"])
+                histogram.total += summary["sum"]
+                if histogram.min is None or summary["min"] < histogram.min:
+                    histogram.min = summary["min"]
+                if histogram.max is None or summary["max"] > histogram.max:
+                    histogram.max = summary["max"]
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r} of kind {kind!r}")
+
     def reset(self) -> None:
         """Drop every metric (tests and CLI entry points)."""
         self._metrics.clear()

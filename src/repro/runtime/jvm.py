@@ -151,10 +151,8 @@ class JavaVM:
     # ------------------------------------------------------------------
     def _boot_image_load(self) -> None:
         """Write the boot image (the VM loading its image files)."""
-        thread = self.gc_threads[0]
-        step = 4096
-        for addr in range(self.boot.start, self.boot.end, step):
-            thread.access(addr, step, True)
+        self.gc_threads[0].access_block(
+            self.boot.start, self.boot.end - self.boot.start, True)
 
     # ------------------------------------------------------------------
     # GC plumbing
@@ -276,7 +274,7 @@ class MutatorContext:
                                                         num_refs, is_large)
             vm.write_profiler.note_allocation(obj)
         # Zero-initialisation: Java writes the whole object up front.
-        thread.access(obj.addr, obj.size, True)
+        thread.access_block(obj.addr, obj.size, True)
         stats = vm.stats
         stats.bytes_allocated += size
         stats.objects_allocated += 1

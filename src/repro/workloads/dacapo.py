@@ -21,7 +21,7 @@ from typing import Dict
 
 from repro.config import DEFAULT_SCALE_CONFIG, KB, MB, ScaleConfig, scaled
 from repro.workloads.base import SyntheticApp, WorkloadProfile
-from repro.workloads.registry import register_benchmark
+from repro.workloads.registry import register_benchmark, stable_seed
 
 #: Default nursery for DaCapo and Pjbb (Section IV).
 DACAPO_NURSERY = 4 * MB
@@ -170,7 +170,8 @@ def _make_factory(name: str):
     def factory(instance_index: int = 0, dataset: str = "default",
                 scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> DaCapoApp:
         return DaCapoApp(name, profile, heap, dataset,
-                         seed=1009 * (instance_index + 1) + hash(name) % 997,
+                         seed=1009 * (instance_index + 1)
+                         + stable_seed(name) % 997,
                          scale=scale)
 
     return factory

@@ -44,7 +44,7 @@ from repro.workloads.datasets import (
     generate_ratings,
     scaled_count,
 )
-from repro.workloads.registry import register_benchmark
+from repro.workloads.registry import register_benchmark, stable_seed
 
 GRAPHCHI_HEAP = 512 * MB
 GRAPHCHI_NURSERY = 32 * MB
@@ -604,7 +604,8 @@ def _make_factory(name: str, cls):
     def factory(instance_index: int = 0, dataset: str = "default",
                 scale: ScaleConfig = DEFAULT_SCALE_CONFIG):
         return cls(name, dataset=dataset,
-                   seed=4099 * (instance_index + 1) + hash(name) % 997,
+                   seed=4099 * (instance_index + 1)
+                   + stable_seed(name) % 997,
                    scale=scale)
     return factory
 

@@ -6,6 +6,7 @@ and :mod:`repro.workloads.graphchi`.
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Dict, List
 
 from repro.workloads.base import BenchmarkApp
@@ -13,6 +14,17 @@ from repro.workloads.base import BenchmarkApp
 #: name -> factory(instance_index, dataset) -> BenchmarkApp
 _REGISTRY: Dict[str, Callable[..., BenchmarkApp]] = {}
 _SUITES: Dict[str, List[str]] = {}
+
+
+def stable_seed(name: str) -> int:
+    """Deterministic per-benchmark seed component.
+
+    Builtin ``hash(str)`` is randomised per interpreter (PYTHONHASHSEED),
+    which would make simulated counters differ between invocations —
+    and between a parent and its spawned pool workers.  CRC32 is stable
+    everywhere.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 def register_benchmark(name: str, suite: str,

@@ -1,0 +1,94 @@
+"""Partial-run hygiene: a failed measurement must clean up after itself.
+
+``HybridMemoryPlatform.run`` builds processes, maps frames, subscribes
+the wear tracker to the write stream, and starts a monitor process.  If
+an iteration dies mid-run (a page fault, an app bug, heap exhaustion),
+all of that must still be torn down — otherwise a sweep that hits one
+bad configuration leaks frames and listeners into every later run.
+"""
+
+import pytest
+
+from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.kernel.pagetable import PageFault
+from repro.workloads.base import BenchmarkApp
+
+
+class FaultingApp(BenchmarkApp):
+    """Runs a clean warm-up, then page-faults in the measured pass."""
+
+    #: Unmapped virtual address, far above any heap mapping.
+    WILD_ADDRESS = 0x7000000000
+
+    def __init__(self, index, fail_in="measured"):
+        super().__init__("faulting", heap_budget=512 * 1024,
+                         nursery_size=64 * 1024, app_threads=2)
+        self.fail_in = fail_in
+        self.iterations = 0
+        if fail_in == "setup":
+            raise RuntimeError("injected setup failure")
+
+    def iteration(self, ctx):
+        self.iterations += 1
+        faulting = self.fail_in == "measured" and self.iterations >= 2
+        for _ in range(8):
+            obj = ctx.alloc(64, 2)
+            ctx.write_scalar(obj, 0)
+            yield
+        if faulting:
+            ctx.thread.access(self.WILD_ADDRESS, 8, True)
+        yield
+
+
+def _assert_clean(platform):
+    kernel = platform.debug_last_kernel
+    machine = kernel.machine
+    for node in machine.nodes:
+        assert node.frames_in_use == 0, (
+            f"node {node.node_id} leaked {node.frames_in_use} frames")
+    assert kernel.processes == [], "processes left in the process table"
+    assert machine.write_listeners == [], "write listener left attached"
+
+
+def test_page_fault_during_measured_iteration_leaks_nothing():
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION,
+                                    track_wear=True)
+    with pytest.raises(PageFault):
+        platform.run(lambda index: FaultingApp(index), collector="KG-N",
+                     instances=1)
+    _assert_clean(platform)
+
+
+def test_setup_failure_releases_already_built_instances():
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+
+    def factory(index):
+        # Instance 0 builds fine; instance 1 dies during construction,
+        # after instance 0's VM has already mapped its heap.
+        return FaultingApp(index, fail_in="setup" if index else "measured")
+
+    with pytest.raises(RuntimeError, match="injected setup failure"):
+        platform.run(factory, collector="KG-N", instances=2)
+    _assert_clean(platform)
+
+
+def test_page_fault_counted_and_fault_propagates_unwrapped():
+    platform = HybridMemoryPlatform(mode=EmulationMode.SIMULATION)
+    with pytest.raises(PageFault) as excinfo:
+        platform.run(lambda index: FaultingApp(index), collector="KG-N")
+    assert excinfo.value.vaddr == FaultingApp.WILD_ADDRESS
+    assert platform.debug_last_kernel.page_faults >= 1
+    _assert_clean(platform)
+
+
+def test_successful_run_still_tears_down_completely():
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION,
+                                    track_wear=True)
+
+    class CleanApp(FaultingApp):
+        def __init__(self, index):
+            super().__init__(index, fail_in="never")
+
+    result = platform.run(lambda index: CleanApp(index), collector="KG-N")
+    assert result.wear_efficiency is not None
+    _assert_clean(platform)

@@ -1,0 +1,109 @@
+"""Software-TLB invalidation and ``mmap_bind`` rollback semantics.
+
+The per-thread TLB caches one vpage -> line-base translation keyed by
+the page table's epoch; it must never serve a stale translation after
+``munmap``.  ``mmap_bind`` must be all-or-nothing: a mid-range frame
+exhaustion may not leave a half-populated page table or leaked frames.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_LATENCY, DEFAULT_SCALE_CONFIG, PAGE_SIZE
+from repro.kernel.pagetable import PageFault
+from repro.kernel.vm import Kernel
+from repro.machine.memory import OutOfPhysicalMemory
+from repro.machine.topology import (
+    DRAM_NODE,
+    PCM_NODE,
+    emulation_platform_spec,
+)
+
+BASE = 0x80000
+
+
+@pytest.fixture
+def kernel():
+    machine = emulation_platform_spec(DEFAULT_SCALE_CONFIG,
+                                      DEFAULT_LATENCY).build()
+    return Kernel(machine)
+
+
+class TestTlbInvalidation:
+    def test_unmap_invalidates_cached_translation(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, PAGE_SIZE, node_id=DRAM_NODE)
+        thread = process.spawn_thread()
+        thread.access(BASE, 8, True)  # primes the TLB
+        kernel.munmap(process, BASE, PAGE_SIZE)
+        with pytest.raises(PageFault):
+            thread.access(BASE, 8, True)
+        assert kernel.page_faults == 1
+
+    def test_remap_after_unmap_reaches_the_new_frame(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, PAGE_SIZE, node_id=DRAM_NODE)
+        thread = process.spawn_thread()
+        thread.access(BASE, 64, True)
+        kernel.munmap(process, BASE, PAGE_SIZE)
+        # Same vpage, different node: a stale TLB entry would keep
+        # counting traffic against DRAM.
+        kernel.mmap_bind(process, BASE, PAGE_SIZE, node_id=PCM_NODE)
+        thread.access(BASE, 64, True)
+        kernel.machine.flush_all([thread.core_path])
+        assert kernel.machine.nodes[PCM_NODE].write_lines == 1
+
+    def test_block_access_reprimes_tlb_across_pages(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, 4 * PAGE_SIZE, node_id=DRAM_NODE)
+        thread = process.spawn_thread()
+        thread.access_block(BASE, 4 * PAGE_SIZE, True)
+        kernel.munmap(process, BASE, 4 * PAGE_SIZE)
+        with pytest.raises(PageFault):
+            thread.access_block(BASE, 4 * PAGE_SIZE, True)
+
+
+class TestMmapRollback:
+    def test_exhaustion_mid_range_rolls_back_completely(self, kernel):
+        node = kernel.machine.nodes[DRAM_NODE]
+        process = kernel.create_process()
+        free_pages = node.total_frames
+        # Leave 3 free frames, then ask for 8: the 4th allocation fails.
+        kernel.mmap_bind(process, BASE, (free_pages - 3) * PAGE_SIZE,
+                         node_id=DRAM_NODE)
+        mapped_before = process.page_table.mapped_pages
+        frames_before = node.frames_in_use
+        pages_counter = kernel.pages_mapped
+        calls_before = kernel.mmap_calls
+        with pytest.raises(OutOfPhysicalMemory):
+            kernel.mmap_bind(process, 0x90000000, 8 * PAGE_SIZE,
+                             node_id=DRAM_NODE, tag="doomed")
+        assert process.page_table.mapped_pages == mapped_before
+        assert node.frames_in_use == frames_before
+        assert kernel.pages_mapped == pages_counter
+        # The failed attempt still counts as a syscall.
+        assert kernel.mmap_calls == calls_before + 1
+
+    def test_rolled_back_frames_are_reusable(self, kernel):
+        node = kernel.machine.nodes[DRAM_NODE]
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, (node.total_frames - 3) * PAGE_SIZE,
+                         node_id=DRAM_NODE)
+        with pytest.raises(OutOfPhysicalMemory):
+            kernel.mmap_bind(process, 0x90000000, 8 * PAGE_SIZE,
+                             node_id=DRAM_NODE)
+        # The 3 surviving frames must be allocatable again.
+        kernel.mmap_bind(process, 0x90000000, 3 * PAGE_SIZE,
+                         node_id=DRAM_NODE)
+        assert node.frames_in_use == node.total_frames
+
+    def test_rollback_keeps_pre_existing_mappings_usable(self, kernel):
+        node = kernel.machine.nodes[DRAM_NODE]
+        process = kernel.create_process()
+        thread = process.spawn_thread()
+        kernel.mmap_bind(process, BASE, (node.total_frames - 1) * PAGE_SIZE,
+                         node_id=DRAM_NODE)
+        with pytest.raises(OutOfPhysicalMemory):
+            kernel.mmap_bind(process, 0x90000000, 2 * PAGE_SIZE,
+                             node_id=DRAM_NODE)
+        thread.access(BASE, 8, True)  # earlier mapping still live
+        assert kernel.page_faults == 0
