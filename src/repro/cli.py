@@ -95,9 +95,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-j", "--jobs", type=int, default=None,
                        help="worker processes (default: one per core; "
                             "1 forces serial execution)")
+    sweep.add_argument("--retries", type=int, default=None,
+                       help="attempts per failing key (default: 3)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-run timeout in seconds (pool mode "
+                            "only; a timed-out run counts as a failed "
+                            "attempt)")
+    sweep.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="persist each completed key to this JSONL "
+                            "file as it finishes")
+    sweep.add_argument("--resume", action="store_true",
+                       help="replay completed keys from --checkpoint "
+                            "instead of re-executing them")
     sweep.add_argument("--json", action="store_true",
-                       help="emit one JSON object per row instead of "
-                            "the table")
+                       help="emit one JSON object per key (successes "
+                            "and failures) instead of the table")
     return parser
 
 
@@ -236,7 +248,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.harness.experiment import ExperimentRunner, RunKey
+    from repro.harness.experiment import (ExperimentRunner, RetryPolicy,
+                                          RunKey)
+    from repro.observability.report import sweep_report
 
     mode = (EmulationMode.EMULATION if args.mode == "emulation"
             else EmulationMode.SIMULATION)
@@ -252,30 +266,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown collectors: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.retries is not None and args.retries < 1:
+        print(f"--retries must be >= 1, got {args.retries}",
+              file=sys.stderr)
+        return 2
+    retry = (RetryPolicy(max_attempts=args.retries)
+             if args.retries is not None else None)
     keys = [RunKey(benchmark, collector, count, args.dataset, mode)
             for benchmark in benchmarks
             for collector in collectors
             for count in instance_counts]
     runner = ExperimentRunner()
-    results = runner.run_many(keys, max_workers=args.jobs)
+    report = runner.sweep(keys, max_workers=args.jobs, retry=retry,
+                          timeout=args.timeout, checkpoint=args.checkpoint,
+                          resume=args.resume)
     if args.json:
-        for result in results:
-            print(json.dumps({
-                "benchmark": result.benchmark,
-                "collector": result.collector,
-                "instances": result.instances,
-                "mode": result.mode.value,
-                "pcm_write_lines": result.pcm_write_lines,
-                "dram_write_lines": result.dram_write_lines,
-                "pcm_write_rate_mbs": result.pcm_write_rate_mbs,
-                "qpi_crossings": result.qpi_crossings,
-                "elapsed_seconds": result.elapsed_seconds,
-            }, sort_keys=True))
-        return 0
-    for result in results:
-        print(result.describe())
-    print(f"{runner.executions} runs, {runner.cache_hits} cache hits")
-    return 0
+        for entry in sweep_report(report)["outcomes"]:
+            print(json.dumps(entry, sort_keys=True))
+        return 0 if report.ok else 1
+    for outcome in report.outcomes:
+        if outcome.ok:
+            print(outcome.result.describe())
+        else:
+            key = outcome.key
+            failure = outcome.failure
+            print(f"FAILED {key.benchmark}/{key.collector}/"
+                  f"n={key.instances}: {failure.exception_type}: "
+                  f"{failure.message} (after {failure.attempts} "
+                  f"attempt(s) on {failure.worker})")
+    print(f"{runner.executions} runs, {runner.cache_hits} cache hits, "
+          f"{len(report.failures)} failures")
+    return 0 if report.ok else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

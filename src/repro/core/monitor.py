@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.config import LINE_SIZE, PAGE_SIZE
+from repro.faults.plan import FAULTS
 from repro.kernel.process import Process, SimThread
 from repro.kernel.vm import Kernel
 from repro.machine.topology import PCM_NODE
@@ -65,9 +66,19 @@ class WriteRateMonitor:
     def sample(self, round_index: int) -> MonitorSample:
         """Read the counters and log a record (with write traffic)."""
         machine = self.kernel.machine
-        record = MonitorSample(
-            round_index=round_index,
-            node_writes=[node.write_lines for node in machine.nodes])
+        stale = False
+        if FAULTS.active is not None:
+            # Fault hook: "raise" wedges the monitor mid-sample;
+            # "stale" re-publishes the previous counters, modelling a
+            # pcm-memory reader stuck on an old snapshot.
+            stale = FAULTS.arrive("monitor.sample",
+                                  round=round_index) == "stale"
+        if stale and self.samples:
+            node_writes = list(self.samples[-1].node_writes)
+        else:
+            node_writes = [node.write_lines for node in machine.nodes]
+        record = MonitorSample(round_index=round_index,
+                               node_writes=node_writes)
         self.samples.append(record)
         # The monitor writes its record plus working-set churn.
         for _ in range(self.noise_lines_per_sample):

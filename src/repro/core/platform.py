@@ -56,6 +56,21 @@ class EmulationMode(enum.Enum):
     SIMULATION = "simulation"
 
 
+class PlatformTeardownError(RuntimeError):
+    """One or more teardown steps failed after a successful measurement.
+
+    Every teardown step still ran — the error aggregates what failed.
+    (A hand-rolled aggregate because the CI floor is Python 3.10,
+    pre-``ExceptionGroup``.)
+    """
+
+    def __init__(self, errors: List[BaseException]) -> None:
+        detail = "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+        super().__init__(
+            f"{len(errors)} teardown step(s) failed: {detail}")
+        self.errors = errors
+
+
 @dataclass
 class MeasurementResult:
     """Everything measured during the second (steady-state) iteration."""
@@ -349,17 +364,14 @@ class HybridMemoryPlatform:
                 result.wear_efficiency = effective_endurance_efficiency(
                     wear_tracker)
             self._publish_space_metrics(vms)
-        finally:
-            # Partial runs (PageFault, heap exhaustion, app bugs) must
-            # not leak frames, leave the monitor process alive, or keep
-            # the wear tracker subscribed to the write stream.  Every
-            # step here is idempotent.
-            if wear_tracker is not None:
-                wear_tracker.detach()
-            for vm in vms:
-                vm.shutdown()
-            if monitor is not None:
-                monitor.shutdown()
+        except BaseException:
+            # Body failed: tear everything down but let the original
+            # exception propagate (teardown failures are recorded, not
+            # raised — they must never mask the actual fault).
+            self._teardown(wear_tracker, vms, monitor, raise_errors=False)
+            raise
+        else:
+            self._teardown(wear_tracker, vms, monitor, raise_errors=True)
         result.host_seconds = time.perf_counter() - host_start
         self._publish_metrics(kernel, measured, result)
         if TRACER.enabled:
@@ -367,6 +379,46 @@ class HybridMemoryPlatform:
                             benchmark=result.benchmark, collector=collector,
                             instances=instances, mode=self.mode.value)
         return result
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _teardown(wear_tracker, vms: List[object], monitor,
+                  raise_errors: bool) -> None:
+        """Run every teardown step; collect failures instead of skipping.
+
+        Partial runs (PageFault, heap exhaustion, app bugs) must not
+        leak frames, leave the monitor process alive, or keep the wear
+        tracker subscribed to the write stream — and one failing
+        ``vm.shutdown()`` must not skip the remaining VMs, the monitor,
+        or the wear-tracker detach.  Every step is idempotent and every
+        step always runs; failures are aggregated into a
+        :class:`PlatformTeardownError` (``raise_errors=True``) or
+        recorded in the metrics/trace stream when a body exception is
+        already propagating.
+        """
+        errors: List[BaseException] = []
+        steps = []
+        if wear_tracker is not None:
+            steps.append(wear_tracker.detach)
+        steps.extend(vm.shutdown for vm in vms)
+        if monitor is not None:
+            steps.append(monitor.shutdown)
+        for step in steps:
+            try:
+                step()
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                errors.append(exc)
+        if not errors:
+            return
+        METRICS.inc("platform.teardown_errors", len(errors))
+        if TRACER.enabled:
+            TRACER.event("platform.teardown_error",
+                         count=len(errors),
+                         errors=[type(e).__name__ for e in errors])
+        if raise_errors:
+            raise PlatformTeardownError(errors)
 
     # ------------------------------------------------------------------
     # Observability

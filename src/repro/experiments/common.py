@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+import argparse
+import sys
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.harness.experiment import ExperimentRunner
+from repro.config import DEFAULT_SCALE_CONFIG, ScaleConfig
+from repro.core.platform import EmulationMode, MeasurementResult
+from repro.harness.experiment import ExperimentRunner, RetryPolicy, RunKey
+from repro.observability.metrics import METRICS
 
 #: All DaCapo benchmarks (11 originals + the two updated variants).
 DACAPO_ALL = [
@@ -54,7 +60,114 @@ def ensure_runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
     return SHARED_RUNNER
 
 
+def error_result(key: RunKey) -> MeasurementResult:
+    """A NaN-filled placeholder for a configuration that failed.
+
+    NaN propagates through the experiments' arithmetic (ratios,
+    averages, MB/s conversions), so a failed cell renders as ``ERR``
+    in :func:`repro.harness.tables.format_table` instead of poisoning
+    the whole table — the remaining cells stay meaningful.
+    """
+    nan = float("nan")
+    from repro.runtime.jvm import RuntimeStats
+    return MeasurementResult(
+        benchmark=key.benchmark, collector=key.collector, mode=key.mode,
+        instances=key.instances, pcm_write_lines=nan,
+        dram_write_lines=nan, elapsed_seconds=nan,
+        per_tag_pcm_writes={}, per_tag_dram_writes={},
+        instance_stats=[RuntimeStats() for _ in range(key.instances)],
+        monitor_rates_mbs=[], qpi_crossings=nan)
+
+
+class ResilientRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that survives failing cells.
+
+    ``on_error`` selects the policy the experiment scripts' ``--on-error``
+    flag exposes:
+
+    * ``"fail"`` — propagate the exception (plain runner behaviour);
+    * ``"skip"`` — record the failure and substitute
+      :func:`error_result`, rendering that cell as ``ERR``;
+    * ``"retry"`` — retry per ``retry`` (a :class:`RetryPolicy`), then
+      skip.
+
+    Failed keys are cached like successes so a configuration that
+    appears in several tables fails once, not once per cell.
+    """
+
+    def __init__(self, on_error: str = "skip",
+                 retry: Optional[RetryPolicy] = None,
+                 verbose: bool = False) -> None:
+        if on_error not in ("fail", "skip", "retry"):
+            raise ValueError(f"unknown on_error policy {on_error!r}")
+        super().__init__(verbose=verbose)
+        self.on_error = on_error
+        self.retry = retry or RetryPolicy()
+        #: (key, exception) per configuration that ultimately failed.
+        self.errors: List[Tuple[RunKey, BaseException]] = []
+
+    def run(self, benchmark: str, collector: str = "PCM-Only",
+            instances: int = 1, dataset: str = "default",
+            mode: EmulationMode = EmulationMode.EMULATION,
+            llc_size: int = 0,
+            scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> MeasurementResult:
+        attempts = (self.retry.max_attempts
+                    if self.on_error == "retry" else 1)
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                METRICS.inc("runner.retries")
+                delay = self.retry.delay(attempt - 1)
+                if delay:
+                    time.sleep(delay)
+            try:
+                return super().run(benchmark, collector, instances,
+                                   dataset, mode, llc_size, scale)
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                if self.on_error == "fail":
+                    raise
+                last_exc = exc
+        key = RunKey(benchmark, collector, instances, dataset, mode,
+                     llc_size, scale.scale)
+        self.errors.append((key, last_exc))
+        METRICS.inc("runner.failures")
+        placeholder = error_result(key)
+        self._cache[key] = placeholder
+        return placeholder
+
+
 def main(run_callable) -> None:  # pragma: no cover - CLI helper
-    """Run an experiment module from the command line."""
-    output = run_callable(ensure_runner(None))
+    """Run an experiment module from the command line.
+
+    ``--on-error skip`` (or ``retry``) keeps a single failing
+    configuration from killing the whole table: the cell renders as
+    ``ERR`` and the failures are listed on stderr.
+    """
+    parser = argparse.ArgumentParser(
+        description=getattr(run_callable, "__doc__", None))
+    parser.add_argument("--on-error", choices=["fail", "skip", "retry"],
+                        default="fail",
+                        help="what to do when one configuration raises: "
+                             "propagate (fail), render the cell as ERR "
+                             "(skip), or retry then render as ERR "
+                             "(retry); default: fail")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="attempts per cell with --on-error retry "
+                             "(default: 3)")
+    args = parser.parse_args()
+    if args.retries < 1:
+        parser.error(f"--retries must be >= 1, got {args.retries}")
+    if args.on_error == "fail":
+        runner: ExperimentRunner = ensure_runner(None)
+    else:
+        runner = ResilientRunner(
+            on_error=args.on_error,
+            retry=RetryPolicy(max_attempts=args.retries))
+    output = run_callable(runner)
     print(output.text)
+    errors = getattr(runner, "errors", [])
+    for key, exc in errors:
+        print(f"ERR {key.benchmark}/{key.collector}/n={key.instances}: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+    if errors:
+        sys.exit(1)

@@ -1,0 +1,175 @@
+"""Sweep checkpointing: persist completed runs, resume without rework.
+
+A checkpoint is a JSON-lines file: one self-contained record per
+completed run key, appended (and flushed) the moment the run finishes,
+so a sweep killed mid-flight keeps everything it already paid for.
+Each record carries the run key, the full
+:class:`~repro.core.platform.MeasurementResult`, and the run's isolated
+metrics snapshot — the same snapshot a pool worker ships back — so a
+resumed sweep reconstructs both the results *and* the merged metrics
+registry bit-identically to an uninterrupted pass.
+
+Record layout (one JSON object per line)::
+
+    {"schema": "repro.sweep_checkpoint/v1",
+     "key": {"benchmark": ..., "collector": ..., "instances": ...,
+             "dataset": ..., "mode": ..., "llc_size": ..., "scale": ...},
+     "result": {<MeasurementResult fields>},
+     "metrics": {<MetricsRegistry.as_dict() snapshot>}}
+
+Unreadable lines (a record cut short by the kill) are skipped on load:
+the worst case is re-running the interrupted key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.core.platform import EmulationMode, MeasurementResult
+from repro.runtime.jvm import RuntimeStats
+
+#: Bump when the record layout changes incompatibly.
+CHECKPOINT_SCHEMA = "repro.sweep_checkpoint/v1"
+
+
+def result_to_dict(result: MeasurementResult) -> Dict:
+    """JSON-serialisable form of a measurement (lossless round-trip)."""
+    return {
+        "benchmark": result.benchmark,
+        "collector": result.collector,
+        "mode": result.mode.value,
+        "instances": result.instances,
+        "pcm_write_lines": result.pcm_write_lines,
+        "dram_write_lines": result.dram_write_lines,
+        "elapsed_seconds": result.elapsed_seconds,
+        "per_tag_pcm_writes": dict(result.per_tag_pcm_writes),
+        "per_tag_dram_writes": dict(result.per_tag_dram_writes),
+        "instance_stats": [
+            {"minor_gcs": s.minor_gcs, "full_gcs": s.full_gcs,
+             "observer_collections": s.observer_collections,
+             "bytes_allocated": s.bytes_allocated,
+             "bytes_copied": s.bytes_copied,
+             "objects_allocated": s.objects_allocated,
+             "objects_promoted": s.objects_promoted,
+             "large_migrations": s.large_migrations,
+             "mutator_cycles": s.mutator_cycles,
+             "gc_cycles": s.gc_cycles,
+             "pauses": list(s.pauses)}
+            for s in result.instance_stats],
+        "monitor_rates_mbs": list(result.monitor_rates_mbs),
+        "wear_efficiency": result.wear_efficiency,
+        "wear_imbalance": result.wear_imbalance,
+        "node_counters": [dict(c) for c in result.node_counters],
+        "llc_stats": [dict(s) for s in result.llc_stats],
+        "qpi_crossings": result.qpi_crossings,
+        "host_seconds": result.host_seconds,
+    }
+
+
+def result_from_dict(data: Dict) -> MeasurementResult:
+    stats = [RuntimeStats(**{k: v for k, v in entry.items()
+                             if k != "pauses"})
+             for entry in data["instance_stats"]]
+    for entry, stat in zip(data["instance_stats"], stats):
+        stat.pauses = list(entry.get("pauses", []))
+    return MeasurementResult(
+        benchmark=data["benchmark"],
+        collector=data["collector"],
+        mode=EmulationMode(data["mode"]),
+        instances=data["instances"],
+        pcm_write_lines=data["pcm_write_lines"],
+        dram_write_lines=data["dram_write_lines"],
+        elapsed_seconds=data["elapsed_seconds"],
+        per_tag_pcm_writes=dict(data["per_tag_pcm_writes"]),
+        per_tag_dram_writes=dict(data["per_tag_dram_writes"]),
+        instance_stats=stats,
+        monitor_rates_mbs=list(data["monitor_rates_mbs"]),
+        wear_efficiency=data.get("wear_efficiency"),
+        wear_imbalance=data.get("wear_imbalance"),
+        node_counters=[dict(c) for c in data["node_counters"]],
+        llc_stats=[dict(s) for s in data["llc_stats"]],
+        qpi_crossings=data["qpi_crossings"],
+        host_seconds=data.get("host_seconds", 0.0),
+    )
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed ``RunKey -> result`` pairs.
+
+    The key type is imported lazily to avoid a cycle with
+    :mod:`repro.harness.experiment` (which owns :class:`RunKey`).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: Records appended by this process (not counting loaded ones).
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_to_dict(key) -> Dict:
+        return {"benchmark": key.benchmark, "collector": key.collector,
+                "instances": key.instances, "dataset": key.dataset,
+                "mode": key.mode.value, "llc_size": key.llc_size,
+                "scale": key.scale}
+
+    @staticmethod
+    def _key_from_dict(data: Dict):
+        from repro.harness.experiment import RunKey
+        return RunKey(data["benchmark"], data["collector"],
+                      data["instances"], data["dataset"],
+                      EmulationMode(data["mode"]), data["llc_size"],
+                      data["scale"])
+
+    def truncate(self) -> None:
+        """Start the checkpoint over (a sweep not asked to resume)."""
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def append(self, key, result: MeasurementResult,
+               metrics: Optional[Dict] = None) -> None:
+        """Persist one completed run (flushed so a kill cannot lose it)."""
+        record = {
+            "schema": CHECKPOINT_SCHEMA,
+            "key": self._key_to_dict(key),
+            "result": result_to_dict(result),
+            "metrics": metrics or {},
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.appended += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict:
+        """``{RunKey: (MeasurementResult, metrics_snapshot)}`` on disk.
+
+        Missing file -> empty dict.  Truncated or malformed lines are
+        skipped (the run they described is simply re-executed); later
+        records for the same key win, matching append order.
+        """
+        restored: Dict = {}
+        if not os.path.exists(self.path):
+            return restored
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("schema") != CHECKPOINT_SCHEMA:
+                        continue
+                    key = self._key_from_dict(record["key"])
+                    result = result_from_dict(record["result"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn write: re-run that key
+                restored[key] = (result, record.get("metrics", {}))
+        return restored

@@ -1,4 +1,4 @@
-"""Batch experiment runner with result caching.
+"""Batch experiment runner: caching, fan-out, and crash tolerance.
 
 Several of the paper's figures share underlying measurements (e.g. the
 PCM-Only single-instance runs appear in Figures 4, 5, and 6 and in
@@ -8,16 +8,40 @@ full reproduction pass never repeats a configuration.
 
 Independent configurations are embarrassingly parallel — each platform
 run builds its own machine, kernel, and runtime — so
-:meth:`ExperimentRunner.run_many` fans a list of run keys across a
-process pool and merges results (and worker-side metrics)
-deterministically in input order.
+:meth:`ExperimentRunner.sweep` fans a list of run keys across a process
+pool and merges results (and worker-side metrics) deterministically in
+input order.  The sweep is crash-tolerant:
+
+* every fresh key is submitted as its own future with a per-run
+  ``timeout``, so one wedged worker cannot stall the whole pool;
+* failures retry under a :class:`RetryPolicy` (bounded attempts,
+  jitter-free exponential backoff — determinism over thundering-herd
+  avoidance, since workers are local);
+* a worker crash (``BrokenProcessPool``), a hang (timeout), or an
+  unpicklable payload charges the affected keys an attempt, the pool is
+  rebuilt, and the surviving futures' results are kept — completed work
+  is never discarded;
+* a key that keeps failing at the pool level degrades to one in-process
+  serial attempt before being recorded as a failure;
+* the :class:`SweepReport` accounts for every input key exactly once —
+  a :class:`RunOutcome` holding either the result or a
+  :class:`FailureRecord` — instead of raising away completed siblings;
+* with ``checkpoint=``, each completion is appended to a JSONL file
+  (result plus the run's isolated metrics snapshot) and ``resume=True``
+  replays finished keys without re-executing them, reproducing the
+  merged metrics registry bit-identically.
+
+:meth:`run_many` remains the strict façade: it runs a sweep and either
+returns the plain result list or re-raises the first failure — but only
+after every salvageable key has completed (and checkpointed, when
+enabled).
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import DEFAULT_SCALE_CONFIG, ScaleConfig
@@ -29,7 +53,6 @@ from repro.core.platform import (
 from repro.observability.log import narrate
 from repro.observability.metrics import METRICS
 from repro.observability.trace import TRACER
-from repro.workloads.registry import benchmark_factory
 
 
 @dataclass(frozen=True)
@@ -45,7 +68,107 @@ class RunKey:
     scale: int = DEFAULT_SCALE_CONFIG.scale
 
 
-def _worker_run(payload: Tuple[str, str, int, str, str, int, int]
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry schedule for sweep runs.
+
+    ``base_delay * backoff ** (n - 1)`` seconds pass before retry
+    ``n + 1``; there is deliberately no jitter — runs are local and
+    reproducibility beats herd avoidance here.  ``serial_fallback``
+    grants a key whose pool attempts were all lost to infrastructure
+    failures (crashes, hangs) one final in-process attempt.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    backoff: float = 2.0
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay cannot be negative")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff before the next try after ``failed_attempts`` failures."""
+        return self.base_delay * self.backoff ** max(0, failed_attempts - 1)
+
+
+@dataclass
+class FailureRecord:
+    """Why a run key ultimately failed (after retries)."""
+
+    exception_type: str
+    message: str
+    attempts: int
+    worker: str  # "pool", "serial", or "serial-fallback"
+    #: The final exception instance (not serialised; for re-raising).
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+
+@dataclass
+class RunOutcome:
+    """One input key's fate: a result or a failure record, never both."""
+
+    key: RunKey
+    result: Optional[MeasurementResult] = None
+    failure: Optional[FailureRecord] = None
+    attempts: int = 1
+    #: Served from the memoisation cache (including duplicates).
+    cached: bool = False
+    #: Replayed from a sweep checkpoint instead of executing.
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class SweepReport:
+    """Every input key accounted for exactly once, in input order."""
+
+    outcomes: List[RunOutcome]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def results(self) -> List[Optional[MeasurementResult]]:
+        """Per-key results in input order (``None`` for failures)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def failures(self) -> List[RunOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def raise_first_failure(self) -> None:
+        """Re-raise the first failed key's exception (strict mode)."""
+        for outcome in self.outcomes:
+            if outcome.ok:
+                continue
+            exc = outcome.failure.exception
+            if exc is not None:
+                raise exc
+            raise RuntimeError(
+                f"{outcome.key.benchmark}/{outcome.key.collector} failed: "
+                f"{outcome.failure.exception_type}: "
+                f"{outcome.failure.message}")
+
+
+@dataclass
+class _Exec:
+    """Internal: one unique key's execution outcome before assembly."""
+
+    result: Optional[MeasurementResult] = None
+    snapshot: Optional[Dict] = None
+    failure: Optional[FailureRecord] = None
+    attempts: int = 1
+
+
+def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int]
                 ) -> Tuple[MeasurementResult, Dict[str, Dict[str, float]]]:
     """Execute one configuration in a pool worker process.
 
@@ -53,10 +176,15 @@ def _worker_run(payload: Tuple[str, str, int, str, str, int, int]
     method.  The worker's global registry is reset first: pool workers
     are reused across tasks (and fork inherits the parent's counters),
     so without the reset a worker's snapshot would double-count earlier
-    runs when merged.
+    runs when merged.  The trailing ``attempt`` element exists for the
+    env-keyed fault shim (crash/hang-on-Nth-attempt testing).
     """
+    from repro.faults.worker import maybe_fault
+    from repro.workloads.registry import benchmark_factory
+
     benchmark, collector, instances, dataset, mode_value, llc_size, \
-        scale_int = payload
+        scale_int, attempt = payload
+    maybe_fault(payload[:7], attempt)
     METRICS.reset()
     platform = HybridMemoryPlatform(mode=EmulationMode(mode_value),
                                     scale=ScaleConfig(scale=scale_int),
@@ -109,15 +237,7 @@ class ExperimentRunner:
         METRICS.inc("runner.cache.misses")
         trace_start = TRACER.begin() if TRACER.enabled else 0.0
         host_start = time.perf_counter()
-        platform = HybridMemoryPlatform(mode=mode, scale=scale,
-                                        llc_size_override=llc_size)
-        factory = benchmark_factory(benchmark)
-
-        def make_app(index: int, scale=scale):
-            return factory(index, dataset=dataset, scale=scale)
-
-        result = platform.run(make_app, collector=collector,
-                              instances=instances)
+        result = self._execute(key)
         host_seconds = time.perf_counter() - host_start
         self._cache[key] = result
         self.executions += 1
@@ -132,73 +252,338 @@ class ExperimentRunner:
             narrate("  %s", result.describe())
         return result
 
-    def run_many(self, keys: List[RunKey],
-                 max_workers: Optional[int] = None) -> List[MeasurementResult]:
-        """Measure many configurations, fanning fresh ones across a pool.
+    # ------------------------------------------------------------------
+    # Execution plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _execute(key: RunKey) -> MeasurementResult:
+        """Build a platform and run ``key``'s configuration, uncached."""
+        from repro.workloads.registry import benchmark_factory
 
-        Returns one result per input key, in input order.  Cached keys
-        are answered from the memoisation cache; duplicates within
-        ``keys`` execute once.  Fresh runs execute in worker processes
-        (each platform run owns its machine and kernel, so runs share
-        no state); each worker returns its result plus a metrics
-        snapshot, and the parent merges snapshots in input order so
-        the registry ends up identical run-to-run regardless of pool
-        scheduling.  With ``max_workers=1`` — or if the pool cannot
-        start (restricted environments) — everything runs serially
-        in-process through :meth:`run`, with identical results.
+        scale = ScaleConfig(scale=key.scale)
+        platform = HybridMemoryPlatform(mode=key.mode, scale=scale,
+                                        llc_size_override=key.llc_size)
+        factory = benchmark_factory(key.benchmark)
+
+        def make_app(index: int, scale=scale):
+            return factory(index, dataset=key.dataset, scale=scale)
+
+        return platform.run(make_app, collector=key.collector,
+                            instances=key.instances)
+
+    def _run_isolated(self, key: RunKey
+                      ) -> Tuple[MeasurementResult, Dict]:
+        """Execute ``key`` in-process with a worker-style isolated
+        metrics snapshot.
+
+        The global registry is parked, the run records into an empty
+        one, and the run's snapshot comes back exactly like a pool
+        worker's — so serial and parallel sweeps merge identically.  A
+        failing run's partial metrics are discarded, matching a crashed
+        worker.
         """
-        order: List[RunKey] = []
+        saved = METRICS.as_dict()
+        METRICS.reset()
+        try:
+            result = self._execute(key)
+            snapshot = METRICS.as_dict()
+        finally:
+            METRICS.reset()
+            METRICS.merge(saved)
+        return result, snapshot
+
+    @staticmethod
+    def _payload(key: RunKey, attempt: int):
+        return (key.benchmark, key.collector, key.instances, key.dataset,
+                key.mode.value, key.llc_size, key.scale, attempt)
+
+    @staticmethod
+    def _note_retry(key: RunKey, attempt: int, exc: BaseException) -> None:
+        METRICS.inc("runner.retries")
+        if TRACER.enabled:
+            TRACER.event("runner.retry", benchmark=key.benchmark,
+                         collector=key.collector, attempt=attempt,
+                         error=type(exc).__name__)
+
+    @staticmethod
+    def _note_giveup(key: RunKey, attempts: int,
+                     exc: BaseException) -> None:
+        if TRACER.enabled:
+            TRACER.event("runner.giveup", benchmark=key.benchmark,
+                         collector=key.collector, attempts=attempts,
+                         error=type(exc).__name__)
+
+    def _serial_attempts(self, key: RunKey, retry: RetryPolicy) -> _Exec:
+        """Run one key in-process with the retry schedule applied."""
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, retry.max_attempts + 1):
+            if attempt > 1:
+                self._note_retry(key, attempt, last_exc)
+                delay = retry.delay(attempt - 1)
+                if delay:
+                    time.sleep(delay)
+            try:
+                result, snapshot = self._run_isolated(key)
+                return _Exec(result=result, snapshot=snapshot,
+                             attempts=attempt)
+            except Exception as exc:  # noqa: BLE001 - recorded, reported
+                last_exc = exc
+        self._note_giveup(key, retry.max_attempts, last_exc)
+        return _Exec(attempts=retry.max_attempts, failure=FailureRecord(
+            exception_type=type(last_exc).__name__, message=str(last_exc),
+            attempts=retry.max_attempts, worker="serial",
+            exception=last_exc))
+
+    def _pool_attempts(self, fresh: List[RunKey], max_workers: Optional[int],
+                       retry: RetryPolicy, timeout: Optional[float],
+                       on_success: Callable[[RunKey, MeasurementResult, Dict],
+                                            None]) -> Dict[RunKey, _Exec]:
+        """Per-future pool execution with retries, timeouts, and pool
+        rebuilds.  Raises only for pool *creation* problems (the caller
+        degrades to serial); everything after that is handled per key.
+        ``on_success`` fires as completions land (checkpoint append),
+        not in input order — metric merging stays with the caller.
+        """
+        import concurrent.futures as cf
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = cf.ProcessPoolExecutor(max_workers=max_workers)
+        attempts = {key: 0 for key in fresh}
+        futures: Dict[RunKey, object] = {}
+        done: Dict[RunKey, _Exec] = {}
+
+        def submit(key: RunKey) -> None:
+            attempts[key] += 1
+            futures[key] = pool.submit(_worker_run,
+                                       self._payload(key, attempts[key]))
+
+        def rebuild() -> None:
+            """Replace a broken/poisoned pool; resubmit unfinished keys.
+
+            Every in-flight key's attempt died with the pool, so each
+            resubmission counts as a fresh (charged) attempt — the
+            crash's blast radius is honest attempt accounting for its
+            neighbours, never lost results.
+            """
+            nonlocal pool
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            finally:
+                procs = dict(getattr(pool, "_processes", None) or {})
+                for proc in procs.values():
+                    try:
+                        proc.kill()
+                    except (OSError, AttributeError):
+                        pass
+            pool = cf.ProcessPoolExecutor(max_workers=max_workers)
+            for key in fresh:
+                if key not in done:
+                    submit(key)
+
+        def resolve_failure(key: RunKey, exc: BaseException,
+                            pool_level: bool) -> bool:
+            """Handle one failed attempt; returns True if the pool must
+            be rebuilt (key retried there or siblings resubmitted)."""
+            if attempts[key] < retry.max_attempts:
+                self._note_retry(key, attempts[key] + 1, exc)
+                delay = retry.delay(attempts[key])
+                if delay:
+                    time.sleep(delay)
+                if not pool_level:
+                    submit(key)
+                return pool_level
+            # Retry budget exhausted.
+            if pool_level and retry.serial_fallback:
+                try:
+                    result, snapshot = self._run_isolated(key)
+                except Exception as serial_exc:  # noqa: BLE001
+                    self._note_giveup(key, attempts[key], serial_exc)
+                    done[key] = _Exec(attempts=attempts[key],
+                                      failure=FailureRecord(
+                        exception_type=type(serial_exc).__name__,
+                        message=str(serial_exc), attempts=attempts[key],
+                        worker="serial-fallback", exception=serial_exc))
+                else:
+                    METRICS.inc("runner.pool_degraded")
+                    done[key] = _Exec(result=result, snapshot=snapshot,
+                                      attempts=attempts[key])
+                    on_success(key, result, snapshot)
+            else:
+                self._note_giveup(key, attempts[key], exc)
+                done[key] = _Exec(attempts=attempts[key],
+                                  failure=FailureRecord(
+                    exception_type=type(exc).__name__, message=str(exc),
+                    attempts=attempts[key], worker="pool", exception=exc))
+            return pool_level
+
+        for key in fresh:
+            submit(key)
+        try:
+            while len(done) < len(fresh):
+                # Wait on unfinished keys in input order: all futures
+                # run concurrently, so ordering only affects which key
+                # a pool collapse is attributed to — deterministically.
+                key = next(k for k in fresh if k not in done)
+                try:
+                    result, snapshot = futures[key].result(timeout=timeout)
+                except cf.TimeoutError:
+                    METRICS.inc("runner.timeouts")
+                    hung = TimeoutError(
+                        f"run exceeded {timeout}s in a pool worker")
+                    if resolve_failure(key, hung, pool_level=True):
+                        rebuild()
+                except BrokenProcessPool as exc:
+                    if resolve_failure(key, exc, pool_level=True):
+                        rebuild()
+                except Exception as exc:  # noqa: BLE001 - worker raised
+                    resolve_failure(key, exc, pool_level=False)
+                else:
+                    done[key] = _Exec(result=result, snapshot=snapshot,
+                                      attempts=attempts[key])
+                    on_success(key, result, snapshot)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return done
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def sweep(self, keys: List[RunKey], max_workers: Optional[int] = None,
+              retry: Optional[RetryPolicy] = None,
+              timeout: Optional[float] = None,
+              checkpoint: Optional[str] = None,
+              resume: bool = False) -> SweepReport:
+        """Measure many configurations; never discard completed work.
+
+        Fresh keys fan out across a process pool (serial in-process
+        when ``max_workers=1``, the pool cannot start, or there is at
+        most one fresh key) under ``retry``/``timeout``.  Worker-side
+        metric snapshots merge in input order, so the registry ends up
+        identical run-to-run regardless of pool scheduling.  Cached
+        keys are answered from the memoisation cache; duplicates
+        execute once.
+
+        ``checkpoint`` names a JSONL file appended to after every
+        completion; with ``resume=True`` keys already in it are
+        replayed (result and metrics) instead of re-executed.
+        ``timeout`` applies to pool execution only — a serial run
+        cannot be preempted.
+
+        Returns a :class:`SweepReport` with one :class:`RunOutcome` per
+        input key, in input order.
+        """
+        retry = retry or RetryPolicy()
+        order = list(keys)
+        ckpt = None
+        restored: Dict[RunKey, Tuple[MeasurementResult, Dict]] = {}
+        if checkpoint:
+            from repro.harness.checkpoint import SweepCheckpoint
+            ckpt = SweepCheckpoint(checkpoint)
+            if resume:
+                restored = ckpt.load()
+            else:
+                ckpt.truncate()  # stale records must not resurrect later
+
+        entry_cached = set(self._cache)
         fresh: List[RunKey] = []
+        replay: List[RunKey] = []
         seen = set()
-        for key in keys:
-            order.append(key)
-            if key in self._cache or key in seen:
+        for key in order:
+            if key in entry_cached or key in seen:
                 continue
             seen.add(key)
-            fresh.append(key)
+            if key in restored:
+                replay.append(key)
+            else:
+                fresh.append(key)
 
+        def on_success(key: RunKey, result: MeasurementResult,
+                       snapshot: Dict) -> None:
+            if ckpt is not None:
+                ckpt.append(key, result, snapshot)
+
+        executed: Dict[RunKey, _Exec] = {}
         serial = max_workers == 1 or len(fresh) <= 1
-        if not serial:
+        if fresh and not serial:
             try:
-                import concurrent.futures as futures
-                payloads = [(k.benchmark, k.collector, k.instances,
-                             k.dataset, k.mode.value, k.llc_size, k.scale)
-                            for k in fresh]
-                with futures.ProcessPoolExecutor(
-                        max_workers=max_workers) as pool:
-                    outcomes = list(pool.map(_worker_run, payloads))
+                executed = self._pool_attempts(fresh, max_workers, retry,
+                                               timeout, on_success)
             except (ImportError, OSError, PermissionError):
-                outcomes = None  # pool unavailable: serial fallback
-            if outcomes is not None:
-                # Merge in input order, mirroring what run() publishes.
-                for key, (result, snapshot) in zip(fresh, outcomes):
-                    METRICS.merge(snapshot)
+                executed = {}  # pool unavailable: serial fallback
+                METRICS.inc("runner.pool_degraded")
+        if fresh and not executed:
+            for key in fresh:
+                record = self._serial_attempts(key, retry)
+                if record.result is not None:
+                    on_success(key, record.result, record.snapshot)
+                executed[key] = record
+
+        # ---- assemble in input order; merge metrics the same way
+        primary: Dict[RunKey, RunOutcome] = {}
+        outcomes: List[RunOutcome] = []
+        hits = 0
+        for key in order:
+            known = primary.get(key)
+            if known is not None:
+                hits += 1
+                outcomes.append(RunOutcome(
+                    key=key, result=known.result, failure=known.failure,
+                    attempts=known.attempts, cached=True,
+                    from_checkpoint=known.from_checkpoint))
+                continue
+            if key in entry_cached:
+                hits += 1
+                outcome = RunOutcome(key=key, result=self._cache[key],
+                                     cached=True)
+            elif key in restored:
+                result, snapshot = restored[key]
+                METRICS.merge(snapshot)
+                METRICS.inc("runner.checkpoint.restored")
+                self._cache[key] = result
+                outcome = RunOutcome(key=key, result=result,
+                                     from_checkpoint=True)
+            else:
+                record = executed[key]
+                if record.result is not None:
+                    METRICS.merge(record.snapshot)
                     METRICS.inc("runner.cache.misses")
                     METRICS.inc("runner.executions")
                     METRICS.observe("runner.run_seconds",
-                                    result.host_seconds)
-                    self._cache[key] = result
+                                    record.result.host_seconds)
+                    self._cache[key] = record.result
                     self.executions += 1
                     if self.verbose:
-                        narrate("  %s", result.describe())
-                fresh = []
-
-        for key in fresh:  # serial fallback (and the 0/1-key cases)
-            self.run(key.benchmark, key.collector, key.instances,
-                     key.dataset, key.mode, key.llc_size,
-                     ScaleConfig(scale=key.scale))
-
-        results: List[MeasurementResult] = []
-        for key in order:
-            results.append(self._cache[key])
-        # run() counts its own cache hits; pool-path keys were never
-        # looked up through run(), so count repeats/previously-cached
-        # keys here the same way.
-        hits = len(order) - len(seen)
+                        narrate("  %s", record.result.describe())
+                else:
+                    METRICS.inc("runner.failures")
+                outcome = RunOutcome(key=key, result=record.result,
+                                     failure=record.failure,
+                                     attempts=record.attempts)
+            primary[key] = outcome
+            outcomes.append(outcome)
         if hits:
             self.cache_hits += hits
             METRICS.inc("runner.cache.hits", hits)
-        return results
+        return SweepReport(outcomes=outcomes)
+
+    def run_many(self, keys: List[RunKey],
+                 max_workers: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None,
+                 checkpoint: Optional[str] = None,
+                 resume: bool = False) -> List[MeasurementResult]:
+        """Strict sweep: the result list, or the first failure re-raised.
+
+        Unlike the old ``pool.map`` fan-out, a failing key no longer
+        discards its siblings — every salvageable key completes, lands
+        in the cache (and the checkpoint, when given), and *then* the
+        first failure propagates.
+        """
+        report = self.sweep(keys, max_workers=max_workers, retry=retry,
+                            timeout=timeout, checkpoint=checkpoint,
+                            resume=resume)
+        report.raise_first_failure()
+        return [outcome.result for outcome in report.outcomes]
 
     def pcm_writes(self, benchmark: str, collector: str = "PCM-Only",
                    **kwargs) -> int:

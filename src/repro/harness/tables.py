@@ -46,12 +46,14 @@ def render_series(series: Dict[str, Dict[str, float]], title: str = "",
     rows = []
     for name, values in series.items():
         rows.append([name] + [
-            value_format.format(values[label]) if label in values else "-"
+            _fmt(values[label], value_format) if label in values else "-"
             for label in x_labels])
     return format_table(headers, rows, title=title)
 
 
-def _fmt(value: object) -> str:
+def _fmt(value: object, value_format: str = "{:.2f}") -> str:
     if isinstance(value, float):
-        return f"{value:.2f}"
+        if value != value:  # NaN marks a failed cell (see error_result)
+            return "ERR"
+        return value_format.format(value)
     return str(value)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.config import PAGE_SHIFT, PAGE_SIZE
+from repro.faults.plan import FAULTS
 from repro.kernel.process import Process
 from repro.machine.numa import NumaMachine
 from repro.observability.trace import TRACER
@@ -58,6 +59,9 @@ class Kernel:
                 f"unaligned mmap request: vaddr={vaddr:#x} length={length}")
         if not 0 <= node_id < len(self.machine.nodes):
             raise MBindError(f"no such NUMA node: {node_id}")
+        if FAULTS.active is not None:  # fault hook: frame exhaustion etc.
+            FAULTS.arrive("kernel.mmap_bind", pid=process.pid, vaddr=vaddr,
+                          node=node_id, tag=tag)
         node = self.machine.nodes[node_id]
         first_page = vaddr >> PAGE_SHIFT
         page_table = process.page_table

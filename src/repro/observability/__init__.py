@@ -22,7 +22,7 @@ this package is the reproduction's equivalent of that tooling:
 
 from repro.observability.log import enable_console, get_logger, narrate
 from repro.observability.metrics import METRICS, MetricsRegistry, sanitize
-from repro.observability.report import run_report
+from repro.observability.report import run_report, sweep_report
 from repro.observability.trace import TRACER, Tracer
 
 __all__ = [
@@ -35,4 +35,5 @@ __all__ = [
     "narrate",
     "run_report",
     "sanitize",
+    "sweep_report",
 ]

@@ -1,10 +1,13 @@
-"""Machine-readable run reports (the ``repro run --json`` payload).
+"""Machine-readable run and sweep reports (the CLI ``--json`` payloads).
 
-A report is a plain JSON-serialisable dict summarising one
+A run report is a plain JSON-serialisable dict summarising one
 :class:`~repro.core.platform.MeasurementResult`: per-socket read/write
 line counts, LLC hit rates, GC statistics and phase spans, and
-wall-time (both emulated seconds and host seconds).  The schema is
-versioned so downstream tooling can detect changes.
+wall-time (both emulated seconds and host seconds).  A sweep report
+(:func:`sweep_report`) summarises a crash-tolerant
+:class:`~repro.harness.experiment.SweepReport`: one outcome per input
+key plus a failures section with exception types and attempt counts.
+The schemas are versioned so downstream tooling can detect changes.
 """
 
 from __future__ import annotations
@@ -13,6 +16,9 @@ from typing import Dict, List, Optional
 
 #: Bump when the report layout changes incompatibly.
 REPORT_SCHEMA = "repro.run_report/v1"
+
+#: Schema tag for :func:`sweep_report` payloads.
+SWEEP_REPORT_SCHEMA = "repro.sweep_report/v1"
 
 
 def _stats_dict(stats) -> Dict[str, object]:
@@ -94,3 +100,64 @@ def run_report(result, gc_spans: Optional[List[Dict]] = None,
     if metrics is not None:
         report["metrics"] = metrics
     return report
+
+
+def _outcome_dict(outcome) -> Dict:
+    """Serialise one :class:`~repro.harness.experiment.RunOutcome`."""
+    key = outcome.key
+    entry: Dict = {
+        "key": {
+            "benchmark": key.benchmark,
+            "collector": key.collector,
+            "instances": key.instances,
+            "dataset": key.dataset,
+            "mode": key.mode.value,
+            "llc_size": key.llc_size,
+            "scale": key.scale,
+        },
+        "status": ("ok" if outcome.ok else "failed"),
+        "attempts": outcome.attempts,
+        "cached": outcome.cached,
+        "from_checkpoint": outcome.from_checkpoint,
+    }
+    if outcome.ok:
+        result = outcome.result
+        entry["result"] = {
+            "pcm_write_lines": result.pcm_write_lines,
+            "dram_write_lines": result.dram_write_lines,
+            "pcm_write_rate_mbs": result.pcm_write_rate_mbs,
+            "qpi_crossings": result.qpi_crossings,
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+    else:
+        entry["failure"] = {
+            "exception_type": outcome.failure.exception_type,
+            "message": outcome.failure.message,
+            "attempts": outcome.failure.attempts,
+            "worker": outcome.failure.worker,
+        }
+    return entry
+
+
+def sweep_report(report, metrics: Optional[Dict[str, Dict]] = None) -> Dict:
+    """Build the JSON payload for one crash-tolerant sweep.
+
+    ``report`` is a :class:`~repro.harness.experiment.SweepReport`; the
+    payload accounts for every input key exactly once (in input order)
+    and surfaces failures — exception type, attempts, worker — in their
+    own section so a figure reproduction can show exactly which cells
+    died and why.
+    """
+    outcomes = [_outcome_dict(o) for o in report.outcomes]
+    payload: Dict = {
+        "schema": SWEEP_REPORT_SCHEMA,
+        "total_keys": len(report.outcomes),
+        "succeeded": sum(1 for o in report.outcomes if o.ok),
+        "failed": len(report.failures),
+        "outcomes": outcomes,
+        "failures": [entry for entry in outcomes
+                     if entry["status"] == "failed"],
+    }
+    if metrics is not None:
+        payload["metrics"] = metrics
+    return payload

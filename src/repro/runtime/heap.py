@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.config import DEFAULT_SCALE_CONFIG, ScaleConfig
+from repro.faults.plan import FAULTS
 from repro.kernel.addressspace import AddressSpaceLayout
 from repro.kernel.process import Process
 from repro.kernel.vm import Kernel
@@ -114,6 +115,13 @@ class HybridHeap:
     # Budget accounting
     # ------------------------------------------------------------------
     def may_commit(self, nbytes: int) -> bool:
+        if FAULTS.active is not None:
+            # Fault hook: an "exhaust" action denies the budget check so
+            # the VM walks its real emergency-collection ->
+            # OutOfMemoryError path rather than a synthetic raise.
+            if FAULTS.arrive("runtime.heap.commit",
+                             nbytes=nbytes) == "exhaust":
+                return False
         return self.committed + nbytes <= self.heap_budget
 
     def note_chunk_acquired(self, space: Space, record: ChunkRecord) -> None:

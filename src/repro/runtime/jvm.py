@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.config import DEFAULT_SCALE_CONFIG, ScaleConfig
+from repro.faults.plan import FAULTS
 from repro.kernel.addressspace import AddressSpaceLayout
 from repro.kernel.process import SimThread
 from repro.kernel.vm import Kernel
@@ -229,6 +230,11 @@ class JavaVM:
 
     def shutdown(self) -> None:
         self.process.exit()
+        if FAULTS.active is not None:
+            # Fault hook, after frame release: models a shutdown step
+            # (listener detach, stats flush) failing so teardown-path
+            # tests can prove one bad VM cannot skip its siblings.
+            FAULTS.arrive("runtime.shutdown", pid=self.process.pid)
 
 
 class MutatorContext:
@@ -262,6 +268,12 @@ class MutatorContext:
         ``LOS_THRESHOLD`` bytes or more are large.
         """
         vm = self.vm
+        if FAULTS.active is not None:
+            # Fault hook: heap exhaustion ("oom") or a wild page touch
+            # ("page_fault") at the Nth allocation.  Deliberately not in
+            # the byte-access engine — that hot path stays hook-free.
+            FAULTS.arrive("runtime.alloc", scalar_bytes=scalar_bytes,
+                          num_refs=num_refs)
         size = object_size(scalar_bytes, num_refs)
         is_large = large if large is not None else size >= LOS_THRESHOLD
         thread = self.thread

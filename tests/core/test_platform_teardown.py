@@ -9,9 +9,21 @@ bad configuration leaks frames and listeners into every later run.
 
 import pytest
 
-from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.core.platform import (
+    EmulationMode,
+    HybridMemoryPlatform,
+    PlatformTeardownError,
+)
+from repro.faults import FAULTS, FaultError, FaultPlan
 from repro.kernel.pagetable import PageFault
 from repro.workloads.base import BenchmarkApp
+
+
+@pytest.fixture(autouse=True)
+def no_fault_plan():
+    FAULTS.uninstall()
+    yield
+    FAULTS.uninstall()
 
 
 class FaultingApp(BenchmarkApp):
@@ -91,4 +103,47 @@ def test_successful_run_still_tears_down_completely():
 
     result = platform.run(lambda index: CleanApp(index), collector="KG-N")
     assert result.wear_efficiency is not None
+    _assert_clean(platform)
+
+
+class CleanApp(FaultingApp):
+    def __init__(self, index):
+        super().__init__(index, fail_in="never")
+
+
+def test_failing_middle_shutdown_does_not_skip_remaining_steps():
+    """One VM's shutdown raising must not leave its neighbours (or the
+    monitor, or the wear tracker) attached: every teardown step runs,
+    and the collected errors surface as a PlatformTeardownError."""
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION,
+                                    track_wear=True)
+    # The hook sits after the VM's own frame release, so the second of
+    # the three VM shutdowns fails mid-teardown-list.
+    plan = FaultPlan().add("runtime.shutdown", at=2)
+    with FAULTS.installed(plan):
+        with pytest.raises(PlatformTeardownError) as excinfo:
+            platform.run(lambda index: CleanApp(index), collector="KG-N",
+                         instances=3)
+    assert len(excinfo.value.errors) == 1
+    assert isinstance(excinfo.value.errors[0], FaultError)
+    _assert_clean(platform)
+
+
+def test_teardown_error_never_masks_the_body_exception():
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+    plan = FaultPlan().add("runtime.shutdown", times=-1)
+    with FAULTS.installed(plan):
+        with pytest.raises(PageFault):
+            platform.run(lambda index: FaultingApp(index), collector="KG-N")
+    _assert_clean(platform)
+
+
+def test_every_failing_shutdown_is_collected():
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+    plan = FaultPlan().add("runtime.shutdown", times=-1)
+    with FAULTS.installed(plan):
+        with pytest.raises(PlatformTeardownError) as excinfo:
+            platform.run(lambda index: CleanApp(index), collector="KG-N",
+                         instances=2)
+    assert len(excinfo.value.errors) == 2
     _assert_clean(platform)

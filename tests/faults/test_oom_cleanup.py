@@ -1,0 +1,98 @@
+"""Satellite: an injected OOM mid-measured-iteration must leak nothing.
+
+The fault plan exhausts the heap while the *measured* pass is running —
+the worst moment, with every structure live: all VMs booted, the wear
+tracker subscribed, the monitor sampling.  The platform must come back
+with zero mapped frames, an empty process table, and no write listeners
+left on the machine.
+"""
+
+import pytest
+
+from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.faults import FAULTS, FaultPlan
+from repro.observability.metrics import METRICS
+from repro.runtime.heap import OutOfMemoryError
+
+from tests.core.test_platform_teardown import FaultingApp, _assert_clean
+
+
+@pytest.fixture(autouse=True)
+def pristine():
+    FAULTS.uninstall()
+    METRICS.reset()
+    yield
+    FAULTS.uninstall()
+    METRICS.reset()
+
+
+class CleanApp(FaultingApp):
+    def __init__(self, index):
+        super().__init__(index, fail_in="never")
+
+
+class BoundaryApp(CleanApp):
+    """Records the allocation-arrival count when the measured pass starts."""
+
+    boundary = None
+
+    def iteration(self, ctx):
+        if self.iterations == 1:  # about to run the second (measured) pass
+            type(self).boundary = FAULTS.arrivals("runtime.alloc")
+        return super().iteration(ctx)
+
+
+def test_oom_mid_measured_iteration_leaks_nothing():
+    # Probe run: same configuration, empty plan, to learn where the
+    # measured iteration starts in allocation arrivals.  Simulated runs
+    # are deterministic, so the boundary transfers to the injected run.
+    BoundaryApp.boundary = None
+    probe = HybridMemoryPlatform(mode=EmulationMode.EMULATION,
+                                 track_wear=True)
+    with FAULTS.installed(FaultPlan()):
+        probe.run(lambda index: BoundaryApp(index), collector="KG-N",
+                  instances=1)
+        total = FAULTS.arrivals("runtime.alloc")
+    boundary = BoundaryApp.boundary
+    assert boundary is not None and boundary < total
+
+    target = boundary + (total - boundary) // 2  # mid-measured-iteration
+    BoundaryApp.boundary = None
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION,
+                                    track_wear=True)
+    plan = FaultPlan().add("runtime.alloc", at=target, error="oom")
+    with FAULTS.installed(plan):
+        with pytest.raises(OutOfMemoryError):
+            platform.run(lambda index: BoundaryApp(index), collector="KG-N",
+                         instances=1)
+        assert FAULTS.fired, "the OOM must come from the injector"
+    assert BoundaryApp.boundary is not None, "died before the measured pass"
+    _assert_clean(platform)
+    assert METRICS.value("faults.injected.runtime.alloc") == 1
+
+
+class LargeApp(CleanApp):
+    """Allocates a large object per pass, forcing the PCM large-object
+    space to grow (the only path that consults the heap budget here)."""
+
+    def iteration(self, ctx):
+        self.iterations += 1
+        for _ in range(4):
+            obj = ctx.alloc(64, 2)
+            ctx.write_scalar(obj, 0)
+            yield
+        ctx.alloc(4096, 2)  # >= LOS_THRESHOLD: heads to large.pcm
+        yield
+
+
+def test_heap_budget_exhaustion_walks_the_real_oom_path():
+    """``exhaust`` denies the budget check, so the VM's own emergency
+    collection -> OutOfMemoryError machinery produces the failure."""
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+    plan = FaultPlan().add("runtime.heap.commit", action="exhaust",
+                           times=-1)
+    with FAULTS.installed(plan):
+        with pytest.raises(OutOfMemoryError, match="exceeds heap budget"):
+            platform.run(lambda index: LargeApp(index), collector="KG-N",
+                         instances=1)
+    _assert_clean(platform)

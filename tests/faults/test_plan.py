@@ -1,0 +1,131 @@
+"""Mechanics of the fault injector: arming, counting, determinism."""
+
+import pytest
+
+from repro.faults import (
+    FAULTS,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    make_exception,
+)
+from repro.kernel.pagetable import PageFault
+from repro.kernel.vm import MBindError
+from repro.machine.memory import OutOfPhysicalMemory
+from repro.observability.metrics import METRICS
+from repro.runtime.heap import OutOfMemoryError
+
+
+@pytest.fixture(autouse=True)
+def pristine():
+    FAULTS.install(FaultPlan())  # resets arrival counters and fired list
+    FAULTS.uninstall()
+    METRICS.reset()
+    yield
+    FAULTS.uninstall()
+    METRICS.reset()
+
+
+class TestFaultSpec:
+    def test_armed_window(self):
+        spec = FaultSpec(site="s", at=3, times=2)
+        assert [spec.armed_for(n) for n in range(1, 7)] == [
+            False, False, True, True, False, False]
+
+    def test_times_minus_one_is_forever(self):
+        spec = FaultSpec(site="s", at=2, times=-1)
+        assert not spec.armed_for(1)
+        assert spec.armed_for(2) and spec.armed_for(1000)
+
+    def test_match_filters_context(self):
+        spec = FaultSpec(site="s", match=(("tag", "monitor"),))
+        assert spec.matches({"tag": "monitor", "node": 0})
+        assert not spec.matches({"tag": "heap"})
+        assert not spec.matches({})
+
+
+class TestMakeException:
+    def test_kinds_map_to_organic_types(self):
+        assert isinstance(make_exception("oom", "s", 1), OutOfMemoryError)
+        assert isinstance(make_exception("page_fault", "s", 1), PageFault)
+        assert isinstance(make_exception("frame_exhausted", "s", 1),
+                          OutOfPhysicalMemory)
+        assert isinstance(make_exception("mbind", "s", 1), MBindError)
+        assert isinstance(make_exception("anything", "s", 1), FaultError)
+
+    def test_page_fault_carries_context_vaddr(self):
+        exc = make_exception("page_fault", "s", 1, vaddr=0x1234000)
+        assert exc.vaddr == 0x1234000
+
+
+class TestInjector:
+    def test_no_plan_means_inactive(self):
+        assert FAULTS.active is None
+        # arrive() without a plan is a no-op returning None.
+        assert FAULTS.arrive("kernel.mmap_bind") is None
+        assert FAULTS.arrivals("kernel.mmap_bind") == 0
+
+    def test_fires_on_nth_arrival_only(self):
+        injector = FaultInjector()
+        injector.install(FaultPlan().add("s", at=3))
+        assert injector.arrive("s") is None
+        assert injector.arrive("s") is None
+        with pytest.raises(FaultError, match="arrival 3"):
+            injector.arrive("s")
+        # times=1: disarmed again afterwards.
+        assert injector.arrive("s") is None
+        assert injector.arrivals("s") == 4
+
+    def test_non_raise_action_returned_to_hook(self):
+        injector = FaultInjector()
+        injector.install(FaultPlan().add("heap", action="exhaust"))
+        assert injector.arrive("heap") == "exhaust"
+
+    def test_match_scopes_the_trigger(self):
+        injector = FaultInjector()
+        injector.install(FaultPlan().add("bind", times=-1, tag="monitor"))
+        assert injector.arrive("bind", tag="heap") is None
+        with pytest.raises(FaultError):
+            injector.arrive("bind", tag="monitor")
+
+    def test_installed_context_manager_uninstalls(self):
+        plan = FaultPlan().add("s", at=100)
+        with FAULTS.installed(plan):
+            assert FAULTS.active is plan
+            FAULTS.arrive("s")
+        assert FAULTS.active is None
+
+    def test_install_resets_arrivals_and_fired(self):
+        injector = FaultInjector()
+        injector.install(FaultPlan().add("s", at=1))
+        with pytest.raises(FaultError):
+            injector.arrive("s")
+        assert injector.fired
+        injector.install(FaultPlan())
+        assert injector.arrivals("s") == 0
+        assert injector.fired == []
+
+    def test_probabilistic_specs_are_seed_deterministic(self):
+        def fired_arrivals(seed):
+            injector = FaultInjector()
+            injector.install(FaultPlan(seed=seed).add(
+                "s", at=1, times=-1, probability=0.3, action="mark"))
+            return [n for n in range(1, 101)
+                    if injector.arrive("s") == "mark"]
+
+        first = fired_arrivals(seed=7)
+        assert fired_arrivals(seed=7) == first
+        assert fired_arrivals(seed=8) != first
+        assert 10 < len(first) < 60  # roughly p=0.3 of 100
+
+    def test_fired_record_and_metric(self):
+        injector = FaultInjector()
+        injector.install(FaultPlan().add("kernel.mmap_bind", at=1,
+                                         error="frame_exhausted"))
+        with pytest.raises(OutOfPhysicalMemory):
+            injector.arrive("kernel.mmap_bind", node=1)
+        fault = injector.fired[0]
+        assert (fault.site, fault.arrival, fault.action, fault.error) == (
+            "kernel.mmap_bind", 1, "raise", "frame_exhausted")
+        assert METRICS.value("faults.injected.kernel.mmap_bind") == 1

@@ -1,0 +1,93 @@
+"""The in-tree hook points: kernel, heap budget, and monitor sites."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.core.monitor import WriteRateMonitor
+from repro.faults import FAULTS, FaultError, FaultPlan
+from repro.kernel.pagetable import PageFault
+from repro.machine.memory import OutOfPhysicalMemory
+from repro.observability.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def pristine():
+    FAULTS.uninstall()
+    METRICS.reset()
+    yield
+    FAULTS.uninstall()
+    METRICS.reset()
+
+
+class TestKernelBindSite:
+    def test_injected_frame_exhaustion_maps_nothing(self, kernel):
+        process = kernel.create_process(affinity_socket=0)
+        plan = FaultPlan().add("kernel.mmap_bind", error="frame_exhausted")
+        with FAULTS.installed(plan):
+            with pytest.raises(OutOfPhysicalMemory):
+                kernel.mmap_bind(process, 0x10000, PAGE_SIZE, node_id=0,
+                                 tag="heap")
+        assert kernel.machine.nodes[0].frames_in_use == 0
+
+    def test_injected_page_fault_carries_bound_vaddr(self, kernel):
+        process = kernel.create_process(affinity_socket=0)
+        plan = FaultPlan().add("kernel.mmap_bind", error="page_fault")
+        with FAULTS.installed(plan):
+            with pytest.raises(PageFault) as excinfo:
+                kernel.mmap_bind(process, 0x40000, PAGE_SIZE, node_id=1)
+        assert excinfo.value.vaddr == 0x40000
+
+    def test_tag_match_spares_other_mappings(self, kernel):
+        process = kernel.create_process(affinity_socket=0)
+        plan = FaultPlan().add("kernel.mmap_bind", times=-1,
+                               error="frame_exhausted", tag="monitor")
+        with FAULTS.installed(plan):
+            kernel.mmap_bind(process, 0x10000, PAGE_SIZE, node_id=0,
+                             tag="heap")
+            with pytest.raises(OutOfPhysicalMemory):
+                kernel.mmap_bind(process, 0x20000, PAGE_SIZE, node_id=0,
+                                 tag="monitor")
+        assert kernel.machine.nodes[0].frames_in_use == 1
+
+    def test_uninstalled_plan_costs_no_arrivals(self, kernel):
+        before = FAULTS.arrivals("kernel.mmap_bind")
+        process = kernel.create_process(affinity_socket=0)
+        kernel.mmap_bind(process, 0x10000, PAGE_SIZE, node_id=0)
+        assert FAULTS.arrivals("kernel.mmap_bind") == before
+
+
+class TestMonitorSite:
+    def test_sample_can_be_wedged(self, kernel):
+        monitor = WriteRateMonitor(kernel)
+        plan = FaultPlan().add("monitor.sample", at=2)
+        with FAULTS.installed(plan):
+            monitor.sample(0)
+            with pytest.raises(FaultError):
+                monitor.sample(1)
+        assert len(monitor.samples) == 1
+        monitor.shutdown()
+
+    def test_stale_sample_republishes_previous_counters(self, kernel):
+        monitor = WriteRateMonitor(kernel)
+        plan = FaultPlan().add("monitor.sample", at=2, action="stale")
+        with FAULTS.installed(plan):
+            first = monitor.sample(0)
+            kernel.machine.nodes[1].record_write(0)
+            stale = monitor.sample(1)
+            fresh = monitor.sample(2)
+        # The stale sample repeats the old counters; the PCM write only
+        # becomes visible once sampling recovers.
+        assert stale.node_writes == first.node_writes
+        assert fresh.node_writes[1] == first.node_writes[1] + 1
+        monitor.shutdown()
+
+
+class TestHeapCommitSite:
+    def test_exhaust_denies_the_budget_check(self, vm):
+        heap = vm.heap
+        assert heap.may_commit(heap.chunk_size)
+        plan = FaultPlan().add("runtime.heap.commit", action="exhaust",
+                               times=-1)
+        with FAULTS.installed(plan):
+            assert not heap.may_commit(heap.chunk_size)
+        assert heap.may_commit(heap.chunk_size)

@@ -1,0 +1,100 @@
+"""The sweep checkpoint store: round-trips, torn writes, schema guard."""
+
+import json
+
+import pytest
+
+from repro.core.platform import EmulationMode, MeasurementResult
+from repro.harness.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    SweepCheckpoint,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.harness.experiment import RunKey
+from repro.runtime.jvm import RuntimeStats
+
+
+def _result(benchmark="fop", collector="KG-N") -> MeasurementResult:
+    stats = RuntimeStats(minor_gcs=3, full_gcs=1, bytes_allocated=4096,
+                         mutator_cycles=1000, gc_cycles=200)
+    stats.pauses = [10, 25, 40]
+    return MeasurementResult(
+        benchmark=benchmark, collector=collector,
+        mode=EmulationMode.EMULATION, instances=1,
+        pcm_write_lines=1234, dram_write_lines=5678,
+        elapsed_seconds=0.25,
+        per_tag_pcm_writes={"nursery": 100, "large.pcm": 34},
+        per_tag_dram_writes={"mature.dram": 99},
+        instance_stats=[stats],
+        monitor_rates_mbs=[10.0, 12.5],
+        wear_efficiency=0.8, wear_imbalance=3.5,
+        node_counters=[{"node": 0, "read_lines": 5, "write_lines": 7}],
+        llc_stats=[{"socket": 0, "hits": 11, "misses": 3}],
+        qpi_crossings=42, host_seconds=1.5)
+
+
+def _key(benchmark="fop", collector="KG-N") -> RunKey:
+    return RunKey(benchmark, collector, 1, "default",
+                  EmulationMode.EMULATION)
+
+
+class TestResultRoundTrip:
+    def test_lossless(self):
+        original = _result()
+        clone = result_from_dict(
+            json.loads(json.dumps(result_to_dict(original))))
+        assert clone == original
+
+    def test_pauses_survive(self):
+        clone = result_from_dict(result_to_dict(_result()))
+        assert clone.instance_stats[0].pauses == [10, 25, 40]
+
+
+class TestCheckpointStore:
+    def test_append_then_load(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key(), _result(), {"m": {"kind": "counter",
+                                              "value": 3}})
+        assert store.appended == 1
+        restored = SweepCheckpoint(path).load()
+        result, metrics = restored[_key()]
+        assert result == _result()
+        assert metrics == {"m": {"kind": "counter", "value": 3}}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert SweepCheckpoint(str(tmp_path / "absent.jsonl")).load() == {}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key(), _result())
+        with open(path, "a", encoding="utf-8") as handle:
+            # A record cut short by a kill mid-write.
+            handle.write('{"schema": "' + CHECKPOINT_SCHEMA + '", "key": {')
+        restored = SweepCheckpoint(path).load()
+        assert list(restored) == [_key()]
+
+    def test_foreign_schema_records_are_ignored(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"schema": "something/else"}) + "\n")
+        assert SweepCheckpoint(path).load() == {}
+
+    def test_later_records_win(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key(), _result())
+        newer = _result()
+        newer.pcm_write_lines = 9999
+        store.append(_key(), newer)
+        result, _ = SweepCheckpoint(path).load()[_key()]
+        assert result.pcm_write_lines == 9999
+
+    def test_truncate_discards_history(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key(), _result())
+        store.truncate()
+        assert SweepCheckpoint(path).load() == {}

@@ -1,0 +1,79 @@
+"""The experiment scripts' --on-error machinery (ResilientRunner)."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ResilientRunner, error_result
+from repro.harness.experiment import RetryPolicy, RunKey
+from repro.harness.tables import format_table
+from repro.core.platform import EmulationMode
+from repro.observability.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+def _key(benchmark="no-such-benchmark"):
+    return RunKey(benchmark, "PCM-Only", 1, "default",
+                  EmulationMode.EMULATION)
+
+
+class TestErrorResult:
+    def test_numeric_fields_are_nan(self):
+        result = error_result(_key())
+        assert math.isnan(result.pcm_write_lines)
+        assert math.isnan(result.elapsed_seconds)
+        assert math.isnan(result.pcm_write_rate_mbs)
+
+    def test_nan_propagates_into_err_cells(self):
+        result = error_result(_key())
+        normalised = result.pcm_write_lines / 1000.0
+        text = format_table(["bench", "writes"],
+                            [["no-such-benchmark", normalised]])
+        assert "ERR" in text
+
+
+class TestResilientRunner:
+    def test_fail_mode_propagates(self):
+        runner = ResilientRunner(on_error="fail")
+        with pytest.raises(KeyError):
+            runner.run("no-such-benchmark")
+
+    def test_skip_mode_substitutes_an_error_cell(self):
+        runner = ResilientRunner(on_error="skip")
+        result = runner.run("no-such-benchmark")
+        assert math.isnan(result.pcm_write_lines)
+        assert len(runner.errors) == 1
+        key, exc = runner.errors[0]
+        assert key.benchmark == "no-such-benchmark"
+        assert isinstance(exc, KeyError)
+        assert METRICS.value("runner.failures") == 1
+
+    def test_failed_cells_are_cached(self):
+        runner = ResilientRunner(on_error="skip")
+        first = runner.run("no-such-benchmark")
+        second = runner.run("no-such-benchmark")
+        assert first is second
+        assert len(runner.errors) == 1
+
+    def test_retry_mode_counts_attempts(self):
+        runner = ResilientRunner(on_error="retry",
+                                 retry=RetryPolicy(max_attempts=3))
+        result = runner.run("no-such-benchmark")
+        assert math.isnan(result.pcm_write_lines)
+        assert METRICS.value("runner.retries") == 2
+
+    def test_healthy_runs_are_untouched(self):
+        runner = ResilientRunner(on_error="skip")
+        result = runner.run("fop")
+        assert result.pcm_write_lines > 0
+        assert runner.errors == []
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ResilientRunner(on_error="explode")

@@ -25,6 +25,13 @@ class TestFormatTable:
         with pytest.raises(ValueError):
             format_table(["a", "b"], [[1]])
 
+    def test_nan_cells_render_as_err(self):
+        text = format_table(["bench", "rate"],
+                            [["fop", float("nan")], ["xalan", 1.5]])
+        assert "ERR" in text
+        assert "nan" not in text
+        assert "1.50" in text
+
 
 class TestRenderSeries:
     def test_series_as_rows(self):
@@ -39,3 +46,7 @@ class TestRenderSeries:
     def test_value_format(self):
         text = render_series({"a": {"x": 123.456}}, value_format="{:.0f}")
         assert "123" in text and "123.46" not in text
+
+    def test_nan_values_render_as_err(self):
+        text = render_series({"a": {"x": float("nan"), "y": 2.0}})
+        assert "ERR" in text and "2.00" in text

@@ -1,0 +1,52 @@
+"""The machine-readable sweep report (failures section, accounting)."""
+
+import json
+
+from repro.core.platform import EmulationMode
+from repro.harness.experiment import (
+    FailureRecord,
+    RunOutcome,
+    SweepReport,
+)
+from repro.harness.experiment import RunKey
+from repro.observability import sweep_report
+from repro.observability.report import SWEEP_REPORT_SCHEMA
+
+from tests.harness.test_checkpoint import _result
+
+
+def _key(collector="PCM-Only"):
+    return RunKey("fop", collector, 1, "default", EmulationMode.EMULATION)
+
+
+def _report() -> SweepReport:
+    ok = RunOutcome(key=_key(), result=_result(collector="PCM-Only"))
+    failed = RunOutcome(key=_key("KG-N"), failure=FailureRecord(
+        exception_type="TimeoutError", message="run exceeded 5s",
+        attempts=3, worker="pool"), attempts=3)
+    return SweepReport(outcomes=[ok, failed])
+
+
+def test_payload_accounts_for_every_key_in_order():
+    payload = sweep_report(_report())
+    assert payload["schema"] == SWEEP_REPORT_SCHEMA
+    assert payload["total_keys"] == 2
+    assert payload["succeeded"] == 1
+    assert payload["failed"] == 1
+    assert [entry["key"]["collector"] for entry in payload["outcomes"]] == [
+        "PCM-Only", "KG-N"]
+
+
+def test_failures_section_carries_the_why():
+    failure = sweep_report(_report())["failures"][0]
+    assert failure["status"] == "failed"
+    assert failure["failure"] == {
+        "exception_type": "TimeoutError", "message": "run exceeded 5s",
+        "attempts": 3, "worker": "pool"}
+    assert "result" not in failure
+
+
+def test_payload_is_json_serialisable():
+    json.dumps(sweep_report(_report(), metrics={"m": {"kind": "counter",
+                                                      "value": 1}}),
+               sort_keys=True)
