@@ -8,6 +8,7 @@
     python -m repro trace figure4 --out trace.jsonl
     python -m repro stats -b fop -c KG-N
     python -m repro sweep -b lusearch,fop -c KG-N,KG-W -j 4
+    python -m repro sanitize --seed 0 --ops 20000
     python -m repro reproduce figure7
     python -m repro reproduce all
     python -m repro describe
@@ -110,6 +111,32 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="emit one JSON object per key (successes "
                             "and failures) instead of the table")
+
+    sanitize = sub.add_parser(
+        "sanitize", help="differentially fuzz the batched access engine "
+                         "against the per-line oracle and run the "
+                         "invariant sanitizer; shrink any divergence")
+    sanitize.add_argument("--seed", type=int, default=0,
+                          help="base RNG seed (trial i uses seed+i)")
+    sanitize.add_argument("--ops", type=int, default=20000,
+                          help="operations per trace (default: 20000)")
+    sanitize.add_argument("--trials", type=int, default=1,
+                          help="number of seeds to fuzz (default: 1)")
+    sanitize.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="minimise diverging traces (default: on)")
+    sanitize.add_argument("--check-every", type=int, default=64,
+                          help="run invariant checks every N ops "
+                               "(0 disables; default: 64)")
+    sanitize.add_argument("--plant", default=None, metavar="BUG",
+                          help="install a known bug first (self-test): "
+                               "short-block or lost-writeback")
+    sanitize.add_argument("--out", default="divergence-trace.jsonl",
+                          help="where to write the shrunk trace of the "
+                               "first divergence (JSONL)")
+    sanitize.add_argument("--json", action="store_true",
+                          help="emit one JSON object per trial instead "
+                               "of text")
     return parser
 
 
@@ -302,6 +329,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.sanitize.fuzz import (PLANTED_BUGS, DifferentialFuzzer,
+                                     planted_bug, write_trace_jsonl)
+
+    if args.ops <= 0:
+        print(f"--ops must be positive, got {args.ops}", file=sys.stderr)
+        return 2
+    if args.trials <= 0:
+        print(f"--trials must be positive, got {args.trials}",
+              file=sys.stderr)
+        return 2
+    if args.check_every < 0:
+        print(f"--check-every cannot be negative, got {args.check_every}",
+              file=sys.stderr)
+        return 2
+    if args.plant is not None and args.plant not in PLANTED_BUGS:
+        print(f"unknown planted bug {args.plant!r}; choose from "
+              f"{', '.join(PLANTED_BUGS)}", file=sys.stderr)
+        return 2
+
+    fuzzer = DifferentialFuzzer(ops=args.ops, shrink=args.shrink,
+                                check_every=args.check_every)
+    context = planted_bug(args.plant) if args.plant else nullcontext()
+    with context:
+        results = fuzzer.run(seed=args.seed, trials=args.trials)
+
+    failed = False
+    artifact_written = False
+    for result in results:
+        if args.json:
+            print(json.dumps(result.to_dict(), sort_keys=True))
+        else:
+            status = "OK" if result.ok else "FAIL"
+            print(f"seed {result.seed}: {status} "
+                  f"({result.ops} ops, "
+                  f"{len(result.violations)} violation(s), "
+                  f"divergence={'yes' if result.divergence else 'no'})")
+            if result.divergence is not None:
+                print(result.divergence.describe())
+            for violation in result.violations[:5]:
+                print(f"  [{violation.law}] at {violation.site}: "
+                      f"{violation.detail}")
+            if len(result.violations) > 5:
+                print(f"  ... and {len(result.violations) - 5} more "
+                      f"violation(s)")
+        if not result.ok:
+            failed = True
+        if result.divergence is not None and not artifact_written:
+            try:
+                count = write_trace_jsonl(args.out,
+                                          result.divergence.shrunk)
+            except OSError as exc:
+                print(f"cannot write shrunk trace to {args.out}: {exc}",
+                      file=sys.stderr)
+            else:
+                artifact_written = True
+                if not args.json:
+                    print(f"shrunk trace ({count} ops) written to "
+                          f"{args.out}")
+    if not args.json:
+        bad = sum(1 for r in results if not r.ok)
+        print(f"{len(results)} trial(s), {bad} failing")
+    return 1 if failed else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     result = _measure(args)
     print(result.describe())
@@ -326,6 +420,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -58,11 +58,22 @@ def pcm_lifetime_years(write_rate_mbs: float,
     return ideal_years * wear_leveling_efficiency
 
 
-def worst_case_lifetime(write_rates_mbs: Sequence[float],
+def worst_case_lifetime(write_rates_mbs: Sequence[float], *,
                         endurance_writes_per_cell: float = 10e6,
-                        **kwargs: float) -> float:
-    """Shortest lifetime across a set of applications (Table III)."""
+                        pcm_bytes: int = DEFAULT_PCM_BYTES,
+                        wear_leveling_efficiency: float =
+                        DEFAULT_WEAR_LEVELING_EFFICIENCY) -> float:
+    """Shortest lifetime across a set of applications (Table III).
+
+    Model parameters are keyword-only: the old ``**kwargs`` forwarding
+    let a positional second argument shadow ``endurance_writes_per_cell``
+    (or collide with it when both were given), silently distorting the
+    Table III numbers.
+    """
     if not write_rates_mbs:
         raise ValueError("need at least one write rate")
-    return pcm_lifetime_years(max(write_rates_mbs),
-                              endurance_writes_per_cell, **kwargs)
+    return pcm_lifetime_years(
+        max(write_rates_mbs),
+        endurance_writes_per_cell=endurance_writes_per_cell,
+        pcm_bytes=pcm_bytes,
+        wear_leveling_efficiency=wear_leveling_efficiency)

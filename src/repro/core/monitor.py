@@ -96,16 +96,32 @@ class WriteRateMonitor:
 
     def write_rate_series(self, cycles_per_round: float,
                           frequency_hz: float,
-                          node_id: int = PCM_NODE) -> List[float]:
-        """MB/s on ``node_id`` (default: PCM) between consecutive samples."""
+                          node_id: int = PCM_NODE,
+                          strict: bool = False) -> List[float]:
+        """MB/s on ``node_id`` (default: PCM) between consecutive samples.
+
+        The series always has ``len(samples) - 1`` entries, one per
+        consecutive sample pair, so it stays aligned with GC rounds.  A
+        non-positive interval (duplicate or out-of-order ``round_index``
+        samples) yields ``NaN`` at that position — silently dropping it
+        used to shift every later rate one slot earlier.  With
+        ``strict=True`` a degenerate interval raises ``ValueError``
+        instead.
+        """
         rates: List[float] = []
         for earlier, later in zip(self.samples, self.samples[1:]):
             delta_lines = (later.node_writes[node_id]
                            - earlier.node_writes[node_id])
             delta_rounds = later.round_index - earlier.round_index
             seconds = delta_rounds * cycles_per_round / frequency_hz
-            if seconds > 0:
-                rates.append(delta_lines * LINE_SIZE / seconds / 1e6)
+            if seconds <= 0:
+                if strict:
+                    raise ValueError(
+                        f"non-positive sample interval: round "
+                        f"{earlier.round_index} -> {later.round_index}")
+                rates.append(float("nan"))
+                continue
+            rates.append(delta_lines * LINE_SIZE / seconds / 1e6)
         return rates
 
     def shutdown(self) -> None:

@@ -47,6 +47,7 @@ from repro.machine.topology import (
 from repro.observability.metrics import METRICS, sanitize
 from repro.observability.trace import TRACER
 from repro.runtime.jvm import JavaVM, RuntimeStats
+from repro.sanitize.invariants import SANITIZE
 
 
 class EmulationMode(enum.Enum):
@@ -282,6 +283,9 @@ class HybridMemoryPlatform:
             if self.track_wear:
                 from repro.machine.wear import WearTracker
                 wear_tracker = WearTracker(machine, PCM_NODE)
+                if SANITIZE.active is not None:
+                    # Anchor the tracker-vs-node-counter law at attach.
+                    SANITIZE.watch_wear(wear_tracker)
             stat_marks = [vm.stats.copy() for vm in vms]
             mutator_marks = [sum(t.cycles for t in vm.app_threads)
                              for vm in vms]
@@ -364,6 +368,10 @@ class HybridMemoryPlatform:
                 result.wear_efficiency = effective_endurance_efficiency(
                     wear_tracker)
             self._publish_space_metrics(vms)
+            if SANITIZE.active is not None:
+                # Full end-of-run sweep while the VMs and the wear
+                # tracker are still alive.
+                SANITIZE.run_end(kernel, wear_tracker)
         except BaseException:
             # Body failed: tear everything down but let the original
             # exception propagate (teardown failures are recorded, not
@@ -455,6 +463,7 @@ class HybridMemoryPlatform:
         METRICS.inc("kernel.munmap_calls", kernel.munmap_calls)
         METRICS.inc("kernel.retag_calls", kernel.retag_calls)
         METRICS.inc("kernel.pages_mapped", kernel.pages_mapped)
+        METRICS.inc("kernel.pages_unmapped", kernel.pages_unmapped)
         METRICS.inc("kernel.page_faults", kernel.page_faults)
         METRICS.inc("kernel.scheduler.rounds", scheduler.rounds)
         METRICS.inc("kernel.scheduler.dispatches", scheduler.dispatches)

@@ -13,9 +13,11 @@ from typing import List, Optional, Tuple
 
 from repro.config import PAGE_SHIFT, PAGE_SIZE
 from repro.faults.plan import FAULTS
+from repro.kernel.pagetable import PageFault
 from repro.kernel.process import Process
 from repro.machine.numa import NumaMachine
 from repro.observability.trace import TRACER
+from repro.sanitize.invariants import SANITIZE
 
 
 class MBindError(Exception):
@@ -64,33 +66,51 @@ class Kernel:
                           node=node_id, tag=tag)
         node = self.machine.nodes[node_id]
         first_page = vaddr >> PAGE_SHIFT
+        num_pages = length >> PAGE_SHIFT
         page_table = process.page_table
-        mapped: List[Tuple[int, int]] = []  # (vpage, frame) so far
+        # Validate before allocating anything: mapping over an existing
+        # page must fail cleanly.  (Letting map_page raise mid-loop used
+        # to make the rollback unmap the *pre-existing* mapping — found
+        # by the differential fuzzer as a leaked frame plus a clobbered
+        # translation.)
+        for vpage in range(first_page, first_page + num_pages):
+            if page_table.is_mapped(vpage):
+                self.mmap_calls += 1
+                raise MBindError(
+                    f"mmap range overlaps mapped page {vpage:#x} "
+                    f"(vaddr={vaddr:#x} length={length})")
+        mapped: List[Tuple[int, int]] = []  # fully-installed (vpage, frame)
         try:
-            for vpage in range(first_page,
-                               first_page + (length >> PAGE_SHIFT)):
+            for vpage in range(first_page, first_page + num_pages):
                 frame = node.allocate_frame()
+                try:
+                    if tag is not None:
+                        node.tag_frame(frame, tag)
+                    page_table.map_page(vpage, node_id, frame,
+                                        node.frame_to_paddr(frame))
+                except Exception:
+                    # The in-flight frame never made it into the page
+                    # table; hand it straight back.
+                    node.free_frame(frame)
+                    raise
                 mapped.append((vpage, frame))
-                if tag is not None:
-                    node.tag_frame(frame, tag)
-                page_table.map_page(vpage, node_id, frame,
-                                    node.frame_to_paddr(frame))
         except Exception:
             # Mid-range failure (typically frame exhaustion): roll back
             # so the call is all-or-nothing — no partially-populated
             # page table, no leaked frames.  The attempt still counts
             # as one mmap call; no pages count as mapped.
             for vpage, frame in reversed(mapped):
-                if page_table.is_mapped(vpage):
-                    page_table.unmap_page(vpage)
+                page_table.unmap_page(vpage)
                 node.free_frame(frame)
             self.mmap_calls += 1
             raise
         self.mmap_calls += 1
-        self.pages_mapped += length >> PAGE_SHIFT
+        self.pages_mapped += num_pages
         if TRACER.enabled:
             TRACER.event("kernel.mbind", pid=process.pid, vaddr=vaddr,
                          length=length, node=node_id, tag=tag)
+        if SANITIZE.active is not None:
+            SANITIZE.kernel_op(self, "mmap_bind")
 
     def retag_range(self, process: Process, vaddr: int, length: int,
                     tag: str) -> None:
@@ -109,21 +129,43 @@ class Kernel:
         self.retag_calls += 1
 
     def munmap(self, process: Process, vaddr: int, length: int) -> None:
-        """Unmap a range, returning its frames to their nodes."""
+        """Unmap a range, returning its frames to their nodes.
+
+        All-or-nothing, like :meth:`mmap_bind`: an unmapped page
+        anywhere in the range faults before any page is released.
+        (The old half-unmap left the counters drifting — frames freed
+        without ``pages_unmapped`` moving — another fuzzer find.)
+        """
         if vaddr % PAGE_SIZE or length % PAGE_SIZE or length <= 0:
             raise MBindError(
                 f"unaligned munmap request: vaddr={vaddr:#x} length={length}")
         first_page = vaddr >> PAGE_SHIFT
-        for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
-            node_id, frame = process.page_table.unmap_page(vpage)
+        num_pages = length >> PAGE_SHIFT
+        page_table = process.page_table
+        for vpage in range(first_page, first_page + num_pages):
+            if not page_table.is_mapped(vpage):
+                self.munmap_calls += 1
+                raise PageFault(vpage << PAGE_SHIFT)
+        for vpage in range(first_page, first_page + num_pages):
+            node_id, frame = page_table.unmap_page(vpage)
             self.machine.nodes[node_id].free_frame(frame)
         self.munmap_calls += 1
-        self.pages_unmapped += length >> PAGE_SHIFT
+        self.pages_unmapped += num_pages
+        if SANITIZE.active is not None:
+            SANITIZE.kernel_op(self, "munmap")
 
     def reclaim_process(self, process: Process) -> None:
         """Tear down a process: free all frames, drop it from the table."""
+        reclaimed = 0
         for vpage, node_id, frame in list(process.page_table.entries()):
             process.page_table.unmap_page(vpage)
             self.machine.nodes[node_id].free_frame(frame)
+            reclaimed += 1
+        # Reclaimed pages count as unmapped so the live-mapping law
+        # (pages_mapped - pages_unmapped == pages still mapped) holds
+        # across process exit; reclaim is not a munmap *call*.
+        self.pages_unmapped += reclaimed
         if process in self.processes:
             self.processes.remove(process)
+        if SANITIZE.active is not None:
+            SANITIZE.kernel_op(self, "reclaim")

@@ -82,6 +82,11 @@ class CacheLevel:
         self.line_size = line_size
         self.num_sets = lines // assoc
         self.stats = CacheStats()
+        #: Dirty lines written back by :meth:`flush` (kept apart from
+        #: ``stats.dirty_evictions`` so the sanitizer's write-conservation
+        #: law can account for every line that reached memory: node
+        #: writes == dirty evictions + flush write-backs).
+        self.flushed_dirty = 0
         # One ordered dict per set: tag -> dirty flag.
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
 
@@ -195,6 +200,7 @@ class CacheLevel:
                 if dirty:
                     dirty_lines.append(tag * self.num_sets + set_index)
             cache_set.clear()
+        self.flushed_dirty += len(dirty_lines)
         return dirty_lines
 
     def resident_lines(self) -> List[int]:

@@ -49,6 +49,10 @@ class MemoryNode:
         self.total_frames = capacity // PAGE_SIZE
         self._next_frame = 0
         self._free_frames: List[int] = []
+        # Mirror of _free_frames for O(1) double-free detection: a frame
+        # freed twice would be handed to two owners and make
+        # frames_in_use drift negative.
+        self._free_set: set = set()
         # Counters, in cache lines.
         self.write_lines = 0
         self.read_lines = 0
@@ -62,7 +66,9 @@ class MemoryNode:
     def allocate_frame(self) -> int:
         """Return a free physical frame number on this node."""
         if self._free_frames:
-            return self._free_frames.pop()
+            frame = self._free_frames.pop()
+            self._free_set.discard(frame)
+            return frame
         if self._next_frame >= self.total_frames:
             raise OutOfPhysicalMemory(
                 f"node {self.node_id} ({self.kind}) exhausted "
@@ -72,10 +78,14 @@ class MemoryNode:
         return frame
 
     def free_frame(self, frame: int) -> None:
-        """Return ``frame`` to the free pool."""
+        """Return ``frame`` to the free pool; double frees are errors."""
         if not 0 <= frame < self._next_frame:
             raise ValueError(f"frame {frame} was never allocated")
+        if frame in self._free_set:
+            raise ValueError(
+                f"double free of frame {frame} on node {self.node_id}")
         self._free_frames.append(frame)
+        self._free_set.add(frame)
         self._page_tags.pop(frame, None)
 
     @property

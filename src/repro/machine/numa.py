@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.config import LatencyModel
 from repro.machine.cache import CacheLevel
 from repro.machine.memory import MemoryNode, node_of_line
+from repro.sanitize.invariants import SANITIZE
 
 
 class Socket:
@@ -256,11 +257,17 @@ class NumaMachine:
         for socket in self.sockets:
             for line in socket.llc.flush():
                 self.memory_write(line)
+        if SANITIZE.active is not None:
+            SANITIZE.machine_op(self, "flush_all")
 
     def reset_counters(self) -> None:
         for node in self.nodes:
             node.reset_counters()
         self.qpi_crossings = 0
+        if SANITIZE.active is not None:
+            # Node counters restart from zero while cache stats keep
+            # accumulating; re-anchor the conservation-law deltas.
+            SANITIZE.rebaseline(self)
 
     def node_writes(self, node_id: int) -> int:
         """Lines written to ``node_id`` since the last reset."""

@@ -125,16 +125,22 @@ class StartGapWearLeveler:
             self._move_gap()
 
     def _move_gap(self) -> None:
+        # Every movement copies one line into the gap slot — one write
+        # of amplification, including the wrap.  With the gap at slot 0
+        # the logical line living in the top slot must be copied down
+        # into slot 0 before the spare slot can become the gap again
+        # (treating the wrap as a free rename undercounts gap_copies
+        # and the 1/gap_write_interval amplification with it).
         self.gap_moves += 1
+        self.physical_wear[self.gap] += 1
+        self.gap_copies += 1
         if self.gap != 0:
-            # Copy the line below the gap into the gap slot (one write
-            # of amplification); the vacated slot becomes the new gap.
-            self.physical_wear[self.gap] += 1
-            self.gap_copies += 1
+            # The vacated slot below becomes the new gap.
             self.gap -= 1
         else:
-            # Gap wrapped: rename it to the top and advance Start —
-            # after N+1 gap movements every line has shifted by one.
+            # Gap wrapped: the spare (top) slot is the gap again and
+            # Start advances — after N+1 movements every line has
+            # shifted by one slot.
             self.gap = self.region_lines
             self.start = (self.start + 1) % self.region_lines
 

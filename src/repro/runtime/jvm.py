@@ -33,6 +33,7 @@ from repro.kernel.vm import Kernel
 from repro.observability.trace import TRACER
 from repro.runtime.heap import HybridHeap, OutOfMemoryError
 from repro.runtime.objectmodel import LOS_THRESHOLD, Obj, object_size
+from repro.sanitize.invariants import SANITIZE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.collectors.base import Collector
@@ -197,6 +198,8 @@ class JavaVM:
             tracer.complete("gc.minor", start,
                             collector=self.collector.config.name,
                             pause_cycles=pause // len(self.gc_threads))
+        if SANITIZE.active is not None:
+            SANITIZE.gc_round(self)
 
     def full_collect(self) -> None:
         # stats.full_gcs is counted inside mark_and_sweep, which also
@@ -212,6 +215,8 @@ class JavaVM:
             tracer.complete("gc.full", start,
                             collector=self.collector.config.name,
                             pause_cycles=pause // len(self.gc_threads))
+        if SANITIZE.active is not None:
+            SANITIZE.gc_round(self)
 
     # ------------------------------------------------------------------
     # Mutator interface

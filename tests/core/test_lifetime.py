@@ -64,3 +64,28 @@ class TestWorstCase:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             worst_case_lifetime([])
+
+    def test_model_parameters_are_keyword_only(self):
+        # The old ``**kwargs`` forwarding accepted a positional second
+        # argument that silently shadowed ``endurance_writes_per_cell``.
+        with pytest.raises(TypeError):
+            worst_case_lifetime([100.0], 30e6)  # type: ignore[misc]
+
+    def test_keyword_parameters_reach_the_model(self):
+        base = worst_case_lifetime([100.0])
+        assert worst_case_lifetime(
+            [100.0], endurance_writes_per_cell=30e6) == \
+            pytest.approx(3 * base)
+        assert worst_case_lifetime(
+            [100.0], wear_leveling_efficiency=1.0) == \
+            pytest.approx(2 * base)
+
+    def test_table3_recommended_rate_pin(self):
+        # Table III anchor: 140 MB/s at 10M writes/cell on 32 GB with
+        # 50 % levelling gives ~36.6 years.  Pins the exact forwarding
+        # of every model parameter.
+        assert worst_case_lifetime([140.0, 23.0, 2.6]) == \
+            pytest.approx(36.6, abs=0.05)
+        assert worst_case_lifetime(
+            [140.0], endurance_writes_per_cell=50e6) == \
+            pytest.approx(5 * 36.6, rel=0.01)

@@ -1,5 +1,7 @@
 """Tests for the write-rate monitor."""
 
+import math
+
 import pytest
 
 from repro.core.monitor import WriteRateMonitor
@@ -107,6 +109,45 @@ class TestRateSeries:
         assert rates[0] == pytest.approx(0.0)
         # 2000 lines * 64 B over 1 ms = 128 MB/s.
         assert rates[1] == pytest.approx(128.0)
+
+    def test_degenerate_interval_marked_nan(self, monitor, kernel):
+        # Duplicate round indices used to be silently *skipped*, which
+        # shifted every later rate one GC round earlier.  The series
+        # must keep its slot, marked NaN.
+        node = kernel.machine.nodes[1]
+        monitor.sample(0)
+        monitor.sample(0)  # duplicate round: zero-length interval
+        for _ in range(1000):
+            node.record_write(0)
+        monitor.sample(1)
+        rates = monitor.write_rate_series(cycles_per_round=1_000_000,
+                                          frequency_hz=1e9)
+        assert len(rates) == len(monitor.samples) - 1
+        assert math.isnan(rates[0])
+        # 1000 lines * 64 B over 1 ms = 64 MB/s, in the right slot.
+        assert rates[1] == pytest.approx(64.0)
+
+    def test_out_of_order_rounds_marked_nan(self, monitor):
+        monitor.sample(5)
+        monitor.sample(3)
+        rates = monitor.write_rate_series(1_000_000, 1e9)
+        assert len(rates) == 1 and math.isnan(rates[0])
+
+    def test_strict_raises_on_degenerate_interval(self, monitor):
+        monitor.sample(2)
+        monitor.sample(2)
+        with pytest.raises(ValueError, match="non-positive"):
+            monitor.write_rate_series(1_000_000, 1e9, strict=True)
+
+    def test_strict_accepts_clean_series(self, monitor, kernel):
+        node = kernel.machine.nodes[1]
+        monitor.sample(0)
+        for _ in range(100):
+            node.record_write(0)
+        monitor.sample(10)
+        rates = monitor.write_rate_series(1_000_000, 1_000_000_000,
+                                          strict=True)
+        assert rates == [pytest.approx(0.64)]
 
     def test_shutdown_releases_buffer(self, kernel):
         monitor = WriteRateMonitor(kernel)

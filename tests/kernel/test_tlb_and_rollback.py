@@ -10,7 +10,7 @@ import pytest
 
 from repro.config import DEFAULT_LATENCY, DEFAULT_SCALE_CONFIG, PAGE_SIZE
 from repro.kernel.pagetable import PageFault
-from repro.kernel.vm import Kernel
+from repro.kernel.vm import Kernel, MBindError
 from repro.machine.memory import OutOfPhysicalMemory
 from repro.machine.topology import (
     DRAM_NODE,
@@ -107,3 +107,93 @@ class TestMmapRollback:
                              node_id=DRAM_NODE)
         thread.access(BASE, 8, True)  # earlier mapping still live
         assert kernel.page_faults == 0
+
+
+class TestOverlapValidation:
+    """Remapping a live page must fail before any side effect.
+
+    The old rollback unmapped *whatever was mapped* in the failed
+    range, so an overlapping ``mmap_bind`` destroyed the pre-existing
+    mapping and leaked its frame (found by the differential fuzzer's
+    hostile-op mix via the frame-conservation law).
+    """
+
+    def test_overlap_raises_mbind_error(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, 2 * PAGE_SIZE, node_id=DRAM_NODE)
+        with pytest.raises(MBindError):
+            kernel.mmap_bind(process, BASE + PAGE_SIZE, 2 * PAGE_SIZE,
+                             node_id=DRAM_NODE)
+
+    def test_overlap_leaves_existing_mapping_intact(self, kernel):
+        node = kernel.machine.nodes[DRAM_NODE]
+        process = kernel.create_process()
+        thread = process.spawn_thread()
+        kernel.mmap_bind(process, BASE, 2 * PAGE_SIZE, node_id=DRAM_NODE)
+        frames_before = node.frames_in_use
+        mapped_before = kernel.pages_mapped
+        with pytest.raises(MBindError):
+            kernel.mmap_bind(process, BASE, 4 * PAGE_SIZE,
+                             node_id=PCM_NODE)
+        # No frame allocated or leaked, no page counter movement, and
+        # the original mapping still serves accesses.
+        assert node.frames_in_use == frames_before
+        assert kernel.machine.nodes[PCM_NODE].frames_in_use == 0
+        assert kernel.pages_mapped == mapped_before
+        assert process.page_table.mapped_pages == 2
+        thread.access(BASE, 8, True)
+        assert kernel.page_faults == 0
+
+    def test_overlap_still_counts_the_syscall(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, PAGE_SIZE, node_id=DRAM_NODE)
+        calls_before = kernel.mmap_calls
+        with pytest.raises(MBindError):
+            kernel.mmap_bind(process, BASE, PAGE_SIZE, node_id=DRAM_NODE)
+        assert kernel.mmap_calls == calls_before + 1
+
+
+class TestAtomicMunmap:
+    """``munmap`` must be all-or-nothing across the requested range.
+
+    The old implementation freed frames page by page and raised on the
+    first unmapped page, leaving earlier pages gone but
+    ``pages_unmapped``/``munmap_calls`` never updated — counter drift
+    the sanitizer's page-conservation law flags immediately.
+    """
+
+    def test_unmapped_tail_frees_nothing(self, kernel):
+        node = kernel.machine.nodes[DRAM_NODE]
+        process = kernel.create_process()
+        thread = process.spawn_thread()
+        kernel.mmap_bind(process, BASE, 2 * PAGE_SIZE, node_id=DRAM_NODE)
+        frames_before = node.frames_in_use
+        unmapped_before = kernel.pages_unmapped
+        with pytest.raises(PageFault):
+            kernel.munmap(process, BASE, 3 * PAGE_SIZE)  # page 3 unmapped
+        assert node.frames_in_use == frames_before
+        assert process.page_table.mapped_pages == 2
+        assert kernel.pages_unmapped == unmapped_before
+        thread.access(BASE, 8, True)  # both pages still live
+        assert kernel.page_faults == 0
+
+    def test_failed_munmap_still_counts_the_syscall(self, kernel):
+        process = kernel.create_process()
+        calls_before = kernel.munmap_calls
+        with pytest.raises(PageFault):
+            kernel.munmap(process, BASE, PAGE_SIZE)
+        assert kernel.munmap_calls == calls_before + 1
+
+    def test_successful_munmap_counts_pages(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, 3 * PAGE_SIZE, node_id=DRAM_NODE)
+        kernel.munmap(process, BASE, 3 * PAGE_SIZE)
+        assert kernel.pages_unmapped == 3
+        assert kernel.pages_mapped - kernel.pages_unmapped == 0
+
+    def test_reclaim_counts_unmapped_pages(self, kernel):
+        process = kernel.create_process()
+        kernel.mmap_bind(process, BASE, 4 * PAGE_SIZE, node_id=DRAM_NODE)
+        process.exit()
+        assert kernel.pages_unmapped == 4
+        assert kernel.machine.nodes[DRAM_NODE].frames_in_use == 0

@@ -46,6 +46,23 @@ class TestFrames:
         with pytest.raises(ValueError):
             MemoryNode(0, PAGE_SIZE + 1, "DRAM")
 
+    def test_double_free_rejected(self, node):
+        # A double free used to push the frame onto the free list
+        # twice, letting two mappings share one frame and wrecking the
+        # frames_in_use accounting.
+        frame = node.allocate_frame()
+        node.free_frame(frame)
+        with pytest.raises(ValueError, match="double free"):
+            node.free_frame(frame)
+        assert node.frames_in_use == 0
+
+    def test_free_after_realloc_is_not_a_double_free(self, node):
+        frame = node.allocate_frame()
+        node.free_frame(frame)
+        assert node.allocate_frame() == frame
+        node.free_frame(frame)  # legitimate: it was re-allocated
+        assert node.frames_in_use == 0
+
 
 class TestAddressing:
     def test_paddr_encodes_node(self, node):

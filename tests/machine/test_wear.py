@@ -92,9 +92,53 @@ class TestStartGap:
         leveler = StartGapWearLeveler(8, gap_write_interval=1)
         for _ in range(10):
             leveler.write(0)
-        # Every gap move except the wrap-around rename copies a line.
+        # Every gap move copies one line into the vacated slot — the
+        # wrap move included: it relocates the top slot's contents to
+        # slot 0 (the old code treated the wrap as a free rename and
+        # under-counted wear by one line per rotation).
         assert leveler.gap_moves == 10
+        assert leveler.gap_copies == 10
         assert sum(leveler.physical_wear) == 10 + leveler.gap_copies
+
+    def test_wrap_boundary_charges_the_copy(self):
+        # Region of 8 lines, gap moves every write: the 9th move is the
+        # wrap (gap 0 -> gap N, start++).  It must be charged like any
+        # other move.
+        leveler = StartGapWearLeveler(8, gap_write_interval=1)
+        for i in range(8):
+            leveler.write(i % 8)
+        assert leveler.gap == 0
+        copies_before = leveler.gap_copies
+        wear_before = sum(leveler.physical_wear)
+        leveler.write(0)  # triggers the wrap move
+        assert leveler.start == 1
+        assert leveler.gap == leveler.region_lines
+        assert leveler.gap_copies == copies_before + 1
+        # +1 for the logical write itself, +1 for the wrap copy.
+        assert sum(leveler.physical_wear) == wear_before + 2
+
+    def test_bijection_across_two_full_rotations(self):
+        # One rotation = region_lines + 1 gap moves.  Two rotations of
+        # a 16-line region at interval 1 need > 34 writes.
+        leveler = StartGapWearLeveler(16, gap_write_interval=1)
+        for i in range(40):
+            leveler.write(i % 16)
+            slots = {leveler.physical_slot(line) for line in range(16)}
+            assert len(slots) == 16
+            assert leveler.gap not in slots
+        assert leveler.start >= 2  # really wrapped at least twice
+
+    def test_amplification_matches_gap_write_interval(self):
+        # Section VI-G: Start-Gap's write amplification is one extra
+        # line write per gap_write_interval logical writes.
+        for interval in (1, 2, 4, 8):
+            leveler = StartGapWearLeveler(32, gap_write_interval=interval)
+            writes = 32 * interval * 3
+            for i in range(writes):
+                leveler.write(i % 32)
+            assert leveler.gap_copies == writes // interval
+            assert sum(leveler.physical_wear) == pytest.approx(
+                writes * (1 + 1 / interval))
 
 
 class TestReplay:
@@ -130,5 +174,7 @@ def test_property_physical_wear_conserves_writes(lines, interval):
     for line in lines:
         leveler.write(line)
     assert leveler.gap_moves == len(lines) // interval
-    assert leveler.gap_copies <= leveler.gap_moves
+    assert leveler.gap_copies == leveler.gap_moves
     assert sum(leveler.physical_wear) == len(lines) + leveler.gap_copies
+    slots = {leveler.physical_slot(line) for line in range(16)}
+    assert len(slots) == 16 and leveler.gap not in slots

@@ -121,3 +121,53 @@ class TestStats:
         assert "machine.socket0.llc.hits" in out
         assert "kernel.mmap_calls" in out
         assert "gc.kgn.minor_collections" in out
+
+
+class TestSanitize:
+    def test_clean_fuzz_exits_zero(self, capsys):
+        assert main(["sanitize", "--seed", "0", "--ops", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 0: OK" in out
+        assert "0 failing" in out
+
+    def test_json_output_per_trial(self, capsys):
+        assert main(["sanitize", "--ops", "200", "--trials", "2",
+                     "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        reports = [json.loads(line) for line in lines]
+        assert [r["seed"] for r in reports] == [0, 1]
+        assert all(r["ok"] for r in reports)
+
+    def test_planted_bug_fails_and_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "divergence.jsonl"
+        assert main(["sanitize", "--ops", "500", "--plant", "short-block",
+                     "--out", str(out)]) == 1
+        text = capsys.readouterr().out
+        assert "divergence at seed 0" in text
+        assert out.exists()
+        trace = [json.loads(line) for line in out.read_text().splitlines()]
+        assert 1 <= len(trace) <= 25
+        assert all("kind" in op for op in trace)
+
+    def test_planted_sanitizer_bug_reports_violations(self, capsys):
+        assert main(["sanitize", "--ops", "400", "--plant",
+                     "lost-writeback"]) == 1
+        text = capsys.readouterr().out
+        assert "write_conservation" in text
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert main(["sanitize", "--ops", "0"]) == 2
+        assert main(["sanitize", "--trials", "0"]) == 2
+        assert main(["sanitize", "--check-every", "-1"]) == 2
+        assert main(["sanitize", "--plant", "heisenbug"]) == 2
+        err = capsys.readouterr().err
+        assert "--ops must be positive" in err
+        assert "unknown planted bug" in err
+
+    def test_no_shrink_keeps_full_trace(self, capsys):
+        assert main(["sanitize", "--ops", "300", "--plant", "short-block",
+                     "--no-shrink", "--json", "--out",
+                     "/dev/null"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["divergence"]["predicate_evals"] == 0
+        assert len(report["divergence"]["shrunk"]) == 300
