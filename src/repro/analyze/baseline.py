@@ -1,0 +1,94 @@
+"""Baseline file: committed, justified suppressions for ``repro lint``.
+
+A baseline entry is a *stable finding key* plus a one-line reason.
+Keys carry no line numbers (``rule::module::token``), so the baseline
+survives unrelated edits; a finding is suppressed when its key exactly
+matches an entry.  Entries that match nothing are *stale* and reported
+(but do not fail the run) so the file cannot silently rot.
+
+Policy: a baseline entry is a justified exception, not a parking spot —
+every entry must say *why* the violation is intentional.  New findings
+belong in code fixes first; ``repro lint --write-baseline`` exists for
+bootstrapping and refactors, and fills the reason with a TODO marker
+that reviewers are expected to replace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analyze.engine import Finding
+
+BASELINE_VERSION = 1
+TODO_REASON = "TODO: justify this exception or fix the violation"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass
+class Baseline:
+    """Suppression set keyed by stable finding keys."""
+
+    entries: Dict[str, str] = field(default_factory=dict)  # key -> reason
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+        if not isinstance(data, dict) or \
+                data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported format "
+                f"(want version {BASELINE_VERSION})")
+        entries: Dict[str, str] = {}
+        for entry in data.get("entries", []):
+            if not isinstance(entry, dict) or "key" not in entry:
+                raise BaselineError(
+                    f"baseline {path}: malformed entry {entry!r}")
+            entries[str(entry["key"])] = str(entry.get("reason", ""))
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "entries": [{"key": key, "reason": reason}
+                        for key, reason in sorted(self.entries.items())],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                        + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, findings: List[Finding]) \
+            -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into (unsuppressed, suppressed, stale keys)."""
+        unsuppressed: List[Finding] = []
+        suppressed: List[Finding] = []
+        used: Dict[str, bool] = {key: False for key in self.entries}
+        for finding in findings:
+            if finding.key in self.entries:
+                suppressed.append(finding)
+                used[finding.key] = True
+            else:
+                unsuppressed.append(finding)
+        stale = sorted(key for key, hit in used.items() if not hit)
+        return unsuppressed, suppressed, stale
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding],
+                      reason: str = TODO_REASON) -> "Baseline":
+        return cls(entries={finding.key: reason for finding in findings})

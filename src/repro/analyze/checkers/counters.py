@@ -1,0 +1,80 @@
+"""Counter-discipline checker (C001).
+
+The registered counters (:data:`repro.analyze.config.DEFAULT_COUNTERS`)
+are the numbers the paper's figures are made of — PCM write counts,
+cache hit/miss totals, kernel fault counts, wear.  The fuzzer proves
+they stay identical across engines, but only for mutation sites it
+knows about; a stray ``kernel.page_faults += 1`` from a neighbouring
+module silently changes ground truth without tripping any invariant.
+
+``C001`` therefore allows writes to a registered counter attribute only
+
+* from a method of the counter's owning class (``self.hits += n`` in
+  ``CacheLevel``, including through a ``stats = self.stats`` alias), or
+* from a function declared in ``counter-mutators`` — the batched
+  engine's fused loops, where the trade is explicit and fuzzed.
+
+Everything else should go through a mutator method on the owner (e.g.
+``Kernel.count_page_fault``), which keeps the set of sites that can
+move a published number greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analyze.engine import Checker, Finding, ScopeContext
+
+
+class CounterDisciplineChecker(Checker):
+    name = "counters"
+    rules = {
+        "C001": "registered counter mutated outside its owning class "
+                "or a declared counter-mutator",
+    }
+
+    def visit_AugAssign(self, node: ast.AugAssign,
+                        ctx: ScopeContext) -> Optional[List[Finding]]:
+        return self._check_target(node.target, ctx)
+
+    def visit_Assign(self, node: ast.Assign,
+                     ctx: ScopeContext) -> Optional[List[Finding]]:
+        findings: List[Finding] = []
+        for target in node.targets:
+            for element in _flatten_target(target):
+                found = self._check_target(element, ctx)
+                if found:
+                    findings.extend(found)
+        return findings or None
+
+    def _check_target(self, target: ast.AST,
+                      ctx: ScopeContext) -> Optional[List[Finding]]:
+        if not isinstance(target, ast.Attribute):
+            return None
+        owners = ctx.config.counters.get(target.attr)
+        if owners is None:
+            return None
+        if ctx.config.is_counter_mutator(ctx.module.name, ctx.qualname()):
+            return None
+        depth = ctx.self_depth(target)
+        if depth is not None and ctx.current_class in owners:
+            return None
+        holder = ctx.module.dotted_name(target.value) or "<expr>"
+        return [ctx.finding(
+            "C001", target,
+            f"write to registered counter '{target.attr}' of {holder} "
+            f"outside owning class {owners}; add a mutator method on "
+            f"the owner or declare this function in counter-mutators",
+            token=f"{ctx.qualname()}:{target.attr}")]
+
+
+def _flatten_target(target: ast.AST) -> List[ast.AST]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        flat: List[ast.AST] = []
+        for element in target.elts:
+            flat.extend(_flatten_target(element))
+        return flat
+    if isinstance(target, ast.Starred):
+        return _flatten_target(target.value)
+    return [target]

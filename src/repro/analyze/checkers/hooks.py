@@ -1,0 +1,117 @@
+"""Hook-coverage checker (H001).
+
+The fault-injection and sanitizer subsystems only see what the hot
+paths *tell* them: a state-mutating operation without its
+``FAULTS.arrive(...)`` / ``SANITIZE.<op>(...)`` pair is invisible to
+both crash-tolerance testing and invariant checking.  The registered
+sites (:data:`repro.analyze.config.DEFAULT_HOOK_SITES`) are the
+operations the fault plans and the sanitizer's op-table know about —
+mmap/munmap/reclaim, heap commit, GC rounds, cache flushes.
+
+``H001`` fires when a registered operation is *defined* in the scanned
+file but its body (including nested helpers) never calls the required
+hook kind.  Sites whose function is absent from the file are skipped,
+so partial trees and test fixtures do not produce phantom findings;
+``tests/analyze`` pins the site list against the real tree instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.engine import Checker, Finding, ScopeContext
+
+#: Resolved dotted-name suffixes that count as each hook kind.  The
+#: singletons are usually imported as ``from repro.faults import
+#: FAULTS``, which the alias map resolves to ``repro.faults.FAULTS``.
+_FAULTS_MARKERS = ("FAULTS.arrive",)
+_SANITIZE_ROOT = "SANITIZE."
+
+
+class HookCoverageChecker(Checker):
+    name = "hooks"
+    rules = {
+        "H001": "state-mutating operation lacks its required "
+                "FAULTS/SANITIZE hook",
+    }
+
+    def __init__(self) -> None:
+        # qualname -> (def node line); reset per module.
+        self._defs: Dict[str, int] = {}
+        # qualname -> set of hook kinds observed in its body.
+        self._hooks: Dict[str, set] = {}
+        self._required: List[Tuple[str, Tuple[str, ...]]] = []
+
+    def begin_module(self, ctx: ScopeContext) -> Optional[List[Finding]]:
+        self._defs = {}
+        self._hooks = {}
+        self._required = [(qualname, kinds)
+                          for module, qualname, kinds in ctx.config.hook_sites
+                          if module == ctx.module.name]
+        return None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: ScopeContext) -> Optional[List[Finding]]:
+        if not self._required:
+            return None
+        # Dispatch happens before the walker pushes the function scope,
+        # so the function's own qualname is the current scope plus name.
+        parts = ctx.class_stack + ctx.func_stack + [node.name]
+        self._defs[".".join(parts)] = node.lineno
+        return None
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call,
+                   ctx: ScopeContext) -> Optional[List[Finding]]:
+        if not self._required:
+            return None
+        name = ctx.module.dotted_name(node.func)
+        if name is None:
+            return None
+        kind: Optional[str] = None
+        if name.endswith(_FAULTS_MARKERS):
+            kind = "faults"
+        elif name.startswith(_SANITIZE_ROOT) or f".{_SANITIZE_ROOT}" in name:
+            kind = "sanitize"
+        if kind is None:
+            return None
+        self._hooks.setdefault(ctx.qualname(), set()).add(kind)
+        return None
+
+    def finish_module(self, ctx: ScopeContext) -> Optional[List[Finding]]:
+        findings: List[Finding] = []
+        for qualname, kinds in self._required:
+            line = self._defs.get(qualname)
+            if line is None:
+                continue  # operation not defined in this file
+            seen = self._hooks_within(qualname)
+            for kind in kinds:
+                if kind in seen:
+                    continue
+                hook = "FAULTS.arrive(...)" if kind == "faults" \
+                    else "SANITIZE hook"
+                findings.append(Finding(
+                    rule="H001",
+                    path=ctx.module.display_path,
+                    line=line,
+                    col=1,
+                    message=(f"{qualname} mutates simulated state but "
+                             f"never calls its required {hook}; fault "
+                             f"plans and the sanitizer cannot see this "
+                             f"operation"),
+                    key=(f"H001::{ctx.module.name}::"
+                         f"{qualname}:{kind}"),
+                    symbol=qualname,
+                ))
+        return findings or None
+
+    def _hooks_within(self, qualname: str) -> set:
+        """Hook kinds seen in the function or anything nested in it."""
+        seen: set = set()
+        prefix = qualname + "."
+        for scope, kinds in self._hooks.items():
+            if scope == qualname or scope.startswith(prefix):
+                seen.update(kinds)
+        return seen

@@ -9,6 +9,7 @@
     python -m repro stats -b fop -c KG-N
     python -m repro sweep -b lusearch,fop -c KG-N,KG-W -j 4
     python -m repro sanitize --seed 0 --ops 20000
+    python -m repro lint --json
     python -m repro reproduce figure7
     python -m repro reproduce all
     python -m repro describe
@@ -137,6 +138,32 @@ def _build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--json", action="store_true",
                           help="emit one JSON object per trial instead "
                                "of text")
+
+    lint = sub.add_parser(
+        "lint", help="run the project's static-analysis checkers "
+                     "(layering, determinism, counter-discipline, "
+                     "hook-coverage, race-pattern)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to scan (default: "
+                           "the [tool.repro-lint] paths, i.e. src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable report instead of text")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file of justified suppressions "
+                           "(default: from [tool.repro-lint]; 'none' "
+                           "disables)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline to suppress all current "
+                           "findings (reasons become TODO markers)")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="RULE",
+                      help="only report these rules/checkers (repeatable, "
+                           "comma-separated ok): L001, determinism, ...")
+    lint.add_argument("--ignore", action="append", default=None,
+                      metavar="RULE",
+                      help="drop these rules/checkers (repeatable)")
+    lint.add_argument("--explain", action="store_true",
+                      help="print the rule table and exit")
     return parser
 
 
@@ -404,6 +431,102 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analyze import (Analyzer, Baseline, BaselineError,
+                               TODO_REASON, filter_findings, load_config,
+                               make_checkers, rule_table)
+
+    if args.explain:
+        for rule, (checker, description) in sorted(rule_table().items()):
+            print(f"{rule}  [{checker}] {description}")
+        return 0
+
+    config = load_config()
+    paths = [Path(p) for p in (args.paths or config.paths)]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+
+    def split(values: Optional[List[str]],
+              fallback: List[str]) -> List[str]:
+        if values is None:
+            return fallback
+        flat: List[str] = []
+        for value in values:
+            flat.extend(part.strip() for part in value.split(",")
+                        if part.strip())
+        return flat
+
+    select = split(args.select, config.select)
+    ignore = split(args.ignore, config.ignore)
+
+    analyzer = Analyzer(make_checkers(), config=config)
+    report = analyzer.run(paths)
+    findings = filter_findings(report.sorted(), select, ignore)
+
+    baseline_path: Optional[Path] = None
+    if args.baseline != "none":
+        baseline_path = Path(args.baseline or config.baseline)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline needs a baseline path",
+                  file=sys.stderr)
+            return 2
+        old = Baseline()
+        if baseline_path.is_file():
+            try:
+                old = Baseline.load(baseline_path)
+            except BaselineError:
+                pass  # rewrite a broken baseline from scratch
+        fresh = Baseline.from_findings(findings)
+        # Keep reviewed reasons for keys that are still firing.
+        for key in fresh.entries:
+            if key in old.entries and old.entries[key] != TODO_REASON:
+                fresh.entries[key] = old.entries[key]
+        fresh.save(baseline_path)
+        print(f"wrote {len(fresh.entries)} entries to {baseline_path}")
+        return 0
+
+    baseline = Baseline()
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    unsuppressed, suppressed, stale = baseline.apply(findings)
+
+    if args.json:
+        print(json.dumps({
+            "tool": "repro-lint",
+            "files_scanned": report.files_scanned,
+            "findings": [f.to_dict() for f in unsuppressed],
+            "suppressed": [f.to_dict() for f in suppressed],
+            "stale_baseline_keys": stale,
+            "exit": 1 if unsuppressed else 0,
+        }, indent=2))
+        return 1 if unsuppressed else 0
+
+    for finding in unsuppressed:
+        print(finding.render())
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} "
+              f"(no longer firing):")
+        for key in stale:
+            print(f"  {key}")
+    summary = (f"{report.files_scanned} files scanned, "
+               f"{len(unsuppressed)} finding(s), "
+               f"{len(suppressed)} baselined")
+    print(summary)
+    return 1 if unsuppressed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -422,6 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "sanitize":
         return _cmd_sanitize(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

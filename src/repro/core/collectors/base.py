@@ -24,10 +24,11 @@ from typing import TYPE_CHECKING, List, Set, Tuple
 from repro.observability.trace import TRACER
 from repro.runtime.heap import OutOfMemoryError
 from repro.runtime.objectmodel import HEADER_BYTES, REF_BYTES, Obj
-from repro.runtime.spaces import ContiguousSpace
+from repro.runtime.spaces import ContiguousSpace, Space
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.collectors.policy import CollectorConfig
+    from repro.kernel.process import SimThread
     from repro.runtime.jvm import JavaVM
 
 
@@ -64,12 +65,12 @@ class Collector:
     # ------------------------------------------------------------------
     # Allocation policy hooks
     # ------------------------------------------------------------------
-    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj):
+    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj) -> Space:
         """Space receiving non-large nursery survivors."""
         raise NotImplementedError
 
     def allocate_large(self, vm: "JavaVM", size: int, num_refs: int,
-                       thread) -> Obj:
+                       thread: "SimThread") -> Obj:
         """Allocate a large object.
 
         With LOO enabled, large objects that fit comfortably are first
@@ -198,7 +199,8 @@ class Collector:
         obj.age += 1
         vm.stats.bytes_copied += obj.size
 
-    def _adopt_with_retry(self, vm: "JavaVM", space, obj: Obj) -> None:
+    def _adopt_with_retry(self, vm: "JavaVM", space: Space,
+                          obj: Obj) -> None:
         if space.adopt(obj):
             return
         # Emergency full-heap mark/sweep, then retry once.

@@ -23,7 +23,9 @@ from repro.core.collectors.kingsguard import KingsguardCollector
 from repro.runtime.objectmodel import Obj
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.collectors.policy import CollectorConfig
     from repro.runtime.jvm import JavaVM
+    from repro.runtime.spaces import Space
 
 ContextKey = Tuple[int, int, bool]
 
@@ -81,7 +83,8 @@ class CrystalGazerCollector(KingsguardCollector):
     Large-object migration and MDO work as in KG-W.
     """
 
-    def __init__(self, config, write_threshold: float = 0.5) -> None:
+    def __init__(self, config: "CollectorConfig",
+                 write_threshold: float = 0.5) -> None:
         super().__init__(config)
         self.profile = WriteProfile(write_threshold)
 
@@ -89,7 +92,7 @@ class CrystalGazerCollector(KingsguardCollector):
         super().attach(vm)
         vm.write_profiler = self.profile
 
-    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj):
+    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj) -> "Space":
         if self.config.dram_mature and self.profile.predicts_written(obj):
             return vm.heap.space("mature.dram")
         return vm.heap.space("mature.pcm")

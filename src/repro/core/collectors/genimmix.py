@@ -16,10 +16,11 @@ from repro.runtime.objectmodel import Obj
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.jvm import JavaVM
+    from repro.runtime.spaces import Space
 
 
 class GenImmixCollector(Collector):
     """Copying nursery + mark-region mature, no write rationing."""
 
-    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj):
+    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj) -> "Space":
         return vm.heap.space("mature.pcm")

@@ -21,12 +21,13 @@ from repro.runtime.objectmodel import Obj
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.jvm import JavaVM
+    from repro.runtime.spaces import Space
 
 
 class KingsguardCollector(Collector):
     """KG-N / KG-B / KG-W, selected by the attached configuration."""
 
-    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj):
+    def nursery_promotion_target(self, vm: "JavaVM", obj: Obj) -> "Space":
         if self.config.has_observer:
             return vm.heap.space("observer")
         return vm.heap.space("mature.pcm")

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.config import (
     DEFAULT_LATENCY,
@@ -41,6 +41,7 @@ from repro.kernel.vm import Kernel
 from repro.machine.topology import (
     DRAM_NODE,
     PCM_NODE,
+    MachineSpec,
     emulation_platform_spec,
     sniper_simulation_spec,
 )
@@ -48,6 +49,12 @@ from repro.observability.metrics import METRICS, sanitize
 from repro.observability.trace import TRACER
 from repro.runtime.jvm import JavaVM, RuntimeStats
 from repro.sanitize.invariants import SANITIZE
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids layer cycles
+    from repro.core.collectors.policy import CollectorConfig
+    from repro.machine.wear import WearTracker
+    from repro.native.runtime import NativeRuntime
+    from repro.workloads.base import BenchmarkApp
 
 
 class EmulationMode(enum.Enum):
@@ -159,7 +166,7 @@ class HybridMemoryPlatform:
         self.llc_size_override = llc_size_override
         self.track_wear = track_wear
 
-    def _machine_spec(self):
+    def _machine_spec(self) -> MachineSpec:
         if self.mode is EmulationMode.EMULATION:
             spec = emulation_platform_spec(self.scale, self.latency)
             if self.llc_size_override:
@@ -169,8 +176,9 @@ class HybridMemoryPlatform:
         return sniper_simulation_spec(self.scale, self.latency,
                                       llc_size=self.llc_size_override)
 
-    def _build_managed(self, kernel: Kernel, app, collector: str,
-                       config, index: int) -> JavaVM:
+    def _build_managed(self, kernel: Kernel, app: "BenchmarkApp",
+                       collector: str, config: "CollectorConfig",
+                       index: int) -> JavaVM:
         """Create a JVM sized by the paper's conventions.
 
         ``app.heap_budget`` is the *total* heap (the paper's "twice the
@@ -194,7 +202,8 @@ class HybridMemoryPlatform:
             boot_noise_rate=0.004,
             seed=self.seeds.derive(self.seeds.workload, index))
 
-    def _build_native(self, kernel: Kernel, app, collector: str):
+    def _build_native(self, kernel: Kernel, app: "BenchmarkApp",
+                      collector: str) -> "NativeRuntime":
         """Create a native runtime (C++ apps run on PCM-Only setups)."""
         from repro.machine.topology import PCM_NODE as _PCM
         from repro.native.runtime import NativeRuntime
@@ -207,7 +216,8 @@ class HybridMemoryPlatform:
                              node=_PCM, thread_socket=1,
                              app_threads=app.app_threads)
 
-    def _make_app(self, app_factory, index: int):
+    def _make_app(self, app_factory: Callable[..., "BenchmarkApp"],
+                  index: int) -> "BenchmarkApp":
         """Instantiate an app, passing the platform's scale when the
         factory accepts one (registry factories do)."""
         import inspect
@@ -223,7 +233,7 @@ class HybridMemoryPlatform:
             return app_factory(index, scale=self.scale)
         return app_factory(index)
 
-    def run(self, app_factory: Callable[[int], object],
+    def run(self, app_factory: Callable[..., "BenchmarkApp"],
             collector: str = "PCM-Only", instances: int = 1) -> MeasurementResult:
         """Run ``instances`` copies of a benchmark under ``collector``.
 
@@ -392,7 +402,8 @@ class HybridMemoryPlatform:
     # Teardown
     # ------------------------------------------------------------------
     @staticmethod
-    def _teardown(wear_tracker, vms: List[object], monitor,
+    def _teardown(wear_tracker: "Optional[WearTracker]", vms: List[object],
+                  monitor: Optional[WriteRateMonitor],
                   raise_errors: bool) -> None:
         """Run every teardown step; collect failures instead of skipping.
 

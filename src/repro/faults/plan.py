@@ -19,9 +19,21 @@ Registered sites (each hook documents its own context keys):
 ========================  ==================================================
 ``kernel.mmap_bind``      entry of :meth:`Kernel.mmap_bind`; ``raise``
                           actions model frame exhaustion / EFAULT.
+``kernel.munmap``         entry of :meth:`Kernel.munmap`; ``raise``
+                          actions model a failing unmap before any
+                          frame is released (the call is atomic).
+``kernel.reclaim``        entry of :meth:`Kernel.reclaim_process`;
+                          ``raise`` actions model dying mid-teardown.
 ``runtime.alloc``         entry of :meth:`MutatorContext.alloc`; ``raise``
                           actions model heap exhaustion or a wild page
                           touch during allocation.
+``runtime.gc``            entry of :meth:`JavaVM.minor_collect` /
+                          :meth:`JavaVM.full_collect` (context key
+                          ``kind``); ``raise`` actions model a crash
+                          at a GC safepoint.
+``machine.flush_all``     entry of :meth:`NumaMachine.flush_all`;
+                          ``raise`` actions model failure before the
+                          final write-back drain.
 ``runtime.heap.commit``   :meth:`HybridHeap.may_commit`; the ``exhaust``
                           action makes the budget check fail so the VM
                           walks its real emergency-collection ->

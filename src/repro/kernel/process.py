@@ -53,7 +53,7 @@ class SimThread:
         if vpage != self._tlb_vpage or table.epoch != self._tlb_epoch:
             base = table.line_base_map.get(vpage)
             if base is None:
-                self.process.kernel.page_faults += 1
+                self.process.kernel.count_page_fault()
                 raise PageFault(first << 6)
             self._tlb_vpage = vpage
             self._tlb_base = base
@@ -90,7 +90,7 @@ class SimThread:
                     # Like the per-line path: earlier runs of this block
                     # have already touched the caches, the faulting
                     # run's cycles are discarded with the exception.
-                    self.process.kernel.page_faults += 1
+                    self.process.kernel.count_page_fault()
                     raise PageFault(first << 6)
                 tlb_vpage = vpage
                 tlb_base = base
@@ -118,7 +118,7 @@ class SimThread:
         for vline in range(first, last + 1):
             base = line_map.get(vline >> LINES_PER_PAGE_SHIFT)
             if base is None:
-                self.process.kernel.page_faults += 1
+                self.process.kernel.count_page_fault()
                 raise PageFault(vline << 6)
             cycles += access_line(base + (vline & LINE_OFFSET_MASK), is_write)
         self.cycles += cycles

@@ -40,6 +40,15 @@ class Kernel:
         self.pages_unmapped = 0
         self.page_faults = 0
 
+    def count_page_fault(self) -> None:
+        """Record one minor fault (called from the access paths).
+
+        ``page_faults`` is a registered counter in the lint policy:
+        only the kernel (or a declared counter-mutator) may move it,
+        which keeps fault accounting greppable to this one method.
+        """
+        self.page_faults += 1
+
     def create_process(self, affinity_socket: int = 0) -> Process:
         """Fork a new process bound to ``affinity_socket``."""
         if not 0 <= affinity_socket < len(self.machine.sockets):
@@ -139,6 +148,9 @@ class Kernel:
         if vaddr % PAGE_SIZE or length % PAGE_SIZE or length <= 0:
             raise MBindError(
                 f"unaligned munmap request: vaddr={vaddr:#x} length={length}")
+        if FAULTS.active is not None:  # fault hook: mirrors mmap_bind
+            FAULTS.arrive("kernel.munmap", pid=process.pid, vaddr=vaddr,
+                          length=length)
         first_page = vaddr >> PAGE_SHIFT
         num_pages = length >> PAGE_SHIFT
         page_table = process.page_table
@@ -156,6 +168,8 @@ class Kernel:
 
     def reclaim_process(self, process: Process) -> None:
         """Tear down a process: free all frames, drop it from the table."""
+        if FAULTS.active is not None:  # fault hook: die mid-teardown
+            FAULTS.arrive("kernel.reclaim", pid=process.pid)
         reclaimed = 0
         for vpage, node_id, frame in list(process.page_table.entries()):
             process.page_table.unmap_page(vpage)

@@ -12,7 +12,7 @@ isolate nursery versus mature writes (Section VI-B's analysis).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.config import LINE_SIZE, PAGE_SHIFT, PAGE_SIZE
 
@@ -52,7 +52,7 @@ class MemoryNode:
         # Mirror of _free_frames for O(1) double-free detection: a frame
         # freed twice would be handed to two owners and make
         # frames_in_use drift negative.
-        self._free_set: set = set()
+        self._free_set: Set[int] = set()
         # Counters, in cache lines.
         self.write_lines = 0
         self.read_lines = 0

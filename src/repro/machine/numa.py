@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.config import LatencyModel
+from repro.faults.plan import FAULTS
 from repro.machine.cache import CacheLevel
 from repro.machine.memory import MemoryNode, node_of_line
 from repro.sanitize.invariants import SANITIZE
@@ -252,6 +253,8 @@ class NumaMachine:
 
     def flush_all(self, core_paths: List[CorePath]) -> None:
         """Flush private caches and every LLC out to memory."""
+        if FAULTS.active is not None:  # fault hook: die before the drain
+            FAULTS.arrive("machine.flush_all", paths=len(core_paths))
         for path in core_paths:
             path.drain()
         for socket in self.sockets:

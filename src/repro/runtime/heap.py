@@ -30,6 +30,7 @@ from repro.runtime.spaces import (
     MetadataSpace,
     Space,
 )
+from repro.sanitize.invariants import SANITIZE
 
 
 class OutOfMemoryError(MemoryError):
@@ -128,6 +129,8 @@ class HybridHeap:
         self.committed += record.size
         self.kernel.retag_range(self.process, record.addr, record.size,
                                 space.name)
+        if SANITIZE.active is not None:
+            SANITIZE.check_heap(self, "chunk_acquired")
 
     def note_chunk_released(self, space: Space) -> None:
         self.committed -= self.chunk_size

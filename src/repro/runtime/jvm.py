@@ -186,6 +186,8 @@ class JavaVM:
         self.remset = survivors
 
     def minor_collect(self) -> None:
+        if FAULTS.active is not None:  # fault hook: crash at a safepoint
+            FAULTS.arrive("runtime.gc", kind="minor")
         tracer = TRACER
         start = tracer.begin() if tracer.enabled else 0.0
         before = sum(t.cycles for t in self.gc_threads)
@@ -204,6 +206,8 @@ class JavaVM:
     def full_collect(self) -> None:
         # stats.full_gcs is counted inside mark_and_sweep, which also
         # runs on emergency (allocation-failure) collections.
+        if FAULTS.active is not None:  # fault hook: crash at a safepoint
+            FAULTS.arrive("runtime.gc", kind="full")
         tracer = TRACER
         start = tracer.begin() if tracer.enabled else 0.0
         before = sum(t.cycles for t in self.gc_threads)

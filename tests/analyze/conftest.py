@@ -1,0 +1,30 @@
+"""Shared paths and helpers for the static-analysis tests."""
+
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.analyze import Analyzer, Finding, LintConfig, make_checkers
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+PLANTED = FIXTURES / "planted"
+CLEAN = FIXTURES / "clean"
+
+
+def run_lint(*paths: Path, config: LintConfig = None) -> List[Finding]:
+    analyzer = Analyzer(make_checkers(), config=config or LintConfig())
+    return analyzer.run(paths).sorted()
+
+
+def by_rule(findings: List[Finding]) -> Dict[str, List[Finding]]:
+    grouped: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        grouped.setdefault(finding.rule, []).append(finding)
+    return grouped
+
+
+@pytest.fixture
+def planted_findings() -> Dict[str, List[Finding]]:
+    return by_rule(run_lint(PLANTED))

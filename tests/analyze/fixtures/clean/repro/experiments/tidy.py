@@ -1,0 +1,47 @@
+"""Clean fixture: the negative control for every checker.
+
+Everything here is the *sanctioned* counterpart of a planted violation:
+seeded RNG, host timing outside the hot layers, stable ordering, sorted
+set iteration, counters mutated by their owner, private state touched
+only through ``self``.
+"""
+
+import random
+import time
+
+from repro.harness.sweep import run_many
+
+rng = random.Random(7)
+
+
+def jitter() -> float:
+    return rng.random()
+
+
+def tick() -> float:
+    return time.perf_counter()
+
+
+def order(objs: list) -> list:
+    return sorted(objs, key=len)
+
+
+def total(items: set) -> int:
+    acc = 0
+    for item in sorted(items):
+        acc += item
+    return acc
+
+
+class CacheLevel:
+    def __init__(self) -> None:
+        self.hits = 0
+        self._lines = {}
+
+    def record(self) -> None:
+        self.hits += 1
+        self._lines[0] = 1
+
+
+def touch() -> object:
+    return run_many

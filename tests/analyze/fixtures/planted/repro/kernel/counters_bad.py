@@ -1,0 +1,5 @@
+"""Planted counter-discipline violation; tests/analyze asserts C001."""
+
+
+def bump(kernel: object) -> None:
+    kernel.page_faults += 1

@@ -1,0 +1,27 @@
+"""Planted determinism violations; tests/analyze asserts D001-D004."""
+
+import random
+import time
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def tick() -> float:
+    return time.perf_counter()
+
+
+def order(objs: list) -> list:
+    return sorted(objs, key=id)
+
+
+def total() -> int:
+    acc = 0
+    for item in {1, 2, 3}:
+        acc += item
+    return acc

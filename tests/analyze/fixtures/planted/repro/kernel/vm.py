@@ -1,0 +1,10 @@
+"""Planted hook-coverage violation; tests/analyze asserts H001.
+
+The path mirrors ``src/repro/kernel/vm.py`` so the module resolves to
+``repro.kernel.vm`` and the default hook-site table applies.
+"""
+
+
+class Kernel:
+    def munmap(self, process: object, vaddr: int, length: int) -> None:
+        self.munmap_calls += 1

@@ -1,0 +1,9 @@
+"""Planted layering violations; tests/analyze asserts L001 and L002."""
+
+from repro.harness.sweep import run_many
+
+from repro.observability.trace import TRACER
+
+
+def peek() -> object:
+    return (run_many, TRACER)

@@ -1,0 +1,6 @@
+"""Planted race-pattern violation; tests/analyze asserts RC01."""
+
+
+class Thief:
+    def poke(self, victim: object) -> None:
+        victim._sets[0] = 1

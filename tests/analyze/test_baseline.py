@@ -1,0 +1,65 @@
+"""Baseline round-trip, staleness, and error handling."""
+
+import json
+
+import pytest
+
+from tests.analyze.conftest import PLANTED, run_lint
+from repro.analyze import Baseline, BaselineError, TODO_REASON
+
+
+class TestRoundTrip:
+    def test_save_load_apply_suppresses_everything(self, tmp_path):
+        findings = run_lint(PLANTED)
+        assert findings  # the fixtures must actually fire
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+
+        loaded = Baseline.load(path)
+        unsuppressed, suppressed, stale = loaded.apply(findings)
+        assert unsuppressed == []
+        assert len(suppressed) >= len(loaded.entries)
+        assert stale == []
+
+    def test_default_reason_is_todo_marker(self, tmp_path):
+        findings = run_lint(PLANTED)
+        baseline = Baseline.from_findings(findings)
+        assert set(baseline.entries.values()) == {TODO_REASON}
+
+    def test_entries_are_sorted_on_disk(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline(entries={"b::m::t": "r2", "a::m::t": "r1"}).save(path)
+        data = json.loads(path.read_text())
+        assert [e["key"] for e in data["entries"]] \
+            == ["a::m::t", "b::m::t"]
+
+
+class TestStaleness:
+    def test_unused_entry_reported_as_stale(self):
+        findings = run_lint(PLANTED)
+        baseline = Baseline.from_findings(findings)
+        baseline.entries["C001::repro.gone.module::old:token"] = "obsolete"
+        unsuppressed, _, stale = baseline.apply(findings)
+        assert unsuppressed == []
+        assert stale == ["C001::repro.gone.module::old:token"]
+
+
+class TestErrors:
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError, match="unsupported format"):
+            Baseline.load(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1,
+                                    "entries": [{"reason": "no key"}]}))
+        with pytest.raises(BaselineError, match="malformed entry"):
+            Baseline.load(path)

@@ -1,0 +1,111 @@
+"""Engine mechanics: module naming, aliases, scopes, parse errors."""
+
+from pathlib import Path
+
+from repro.analyze import Analyzer, LintConfig, make_checkers, module_name_for
+from repro.analyze.engine import PARSE_ERROR_RULE
+
+
+def _lint_source(tmp_path: Path, relpath: str, source: str):
+    """Write ``source`` at ``tmp_path/relpath`` and lint just that file."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    analyzer = Analyzer(make_checkers(), config=LintConfig())
+    return analyzer.run_file(path)
+
+
+class TestModuleNaming:
+    def test_anchors_at_last_repro_component(self):
+        assert module_name_for(Path("src/repro/machine/numa.py")) \
+            == "repro.machine.numa"
+        assert module_name_for(
+            Path("tests/analyze/fixtures/planted/repro/kernel/vm.py")) \
+            == "repro.kernel.vm"
+
+    def test_init_resolves_to_package(self):
+        assert module_name_for(Path("src/repro/machine/__init__.py")) \
+            == "repro.machine"
+
+    def test_non_repro_path_falls_back_to_stem(self):
+        assert module_name_for(Path("scripts/helper.py")) == "helper"
+
+
+class TestAliasResolution:
+    def test_import_as_alias_still_detected(self, tmp_path):
+        findings = _lint_source(tmp_path, "repro/kernel/mod.py",
+                                "import random as rnd\n"
+                                "x = rnd.random()\n")
+        assert [f.rule for f in findings] == ["D001"]
+
+    def test_from_import_resolved(self, tmp_path):
+        findings = _lint_source(tmp_path, "repro/kernel/mod.py",
+                                "from time import perf_counter\n"
+                                "t = perf_counter()\n")
+        assert [f.rule for f in findings] == ["D002"]
+
+    def test_distinct_name_not_confused_with_module(self, tmp_path):
+        # `rng.random()` must not be mistaken for `random.random()`.
+        findings = _lint_source(tmp_path, "repro/kernel/mod.py",
+                                "import random\n"
+                                "rng = random.Random(7)\n"
+                                "x = rng.random()\n")
+        assert findings == []
+
+
+class TestScopes:
+    def test_self_alias_allows_owner_mutation(self, tmp_path):
+        findings = _lint_source(
+            tmp_path, "repro/machine/mod.py",
+            "class CacheLevel:\n"
+            "    def record(self):\n"
+            "        stats = self.stats\n"
+            "        stats.hits += 1\n")
+        assert findings == []
+
+    def test_foreign_counter_write_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path, "repro/machine/mod.py",
+            "class Walker:\n"
+            "    def record(self, level):\n"
+            "        level.hits += 1\n")
+        assert [f.rule for f in findings] == ["C001"]
+        assert findings[0].symbol == "Walker.record"
+
+    def test_function_level_import_exempt_from_layering(self, tmp_path):
+        findings = _lint_source(
+            tmp_path, "repro/machine/mod.py",
+            "def lazy():\n"
+            "    from repro.harness.sweep import run_many\n"
+            "    return run_many\n")
+        assert findings == []
+
+    def test_type_checking_import_exempt(self, tmp_path):
+        findings = _lint_source(
+            tmp_path, "repro/machine/mod.py",
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.harness.sweep import run_many\n")
+        assert findings == []
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        findings = _lint_source(tmp_path, "repro/kernel/broken.py",
+                                "def incomplete(:\n")
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_ERROR_RULE
+        assert "cannot analyze" in findings[0].message
+
+
+class TestStableKeys:
+    def test_key_has_no_line_number(self, tmp_path):
+        first = _lint_source(tmp_path, "repro/kernel/a.py",
+                             "import time\n"
+                             "t = time.time()\n")
+        shifted = _lint_source(tmp_path, "repro/kernel/a.py",
+                               "# a comment shifts every line\n"
+                               "import time\n"
+                               "t = time.time()\n")
+        assert first[0].key == shifted[0].key
+        assert first[0].line != shifted[0].line

@@ -1,0 +1,25 @@
+"""mypy gate over the strict packages (machine/kernel/core).
+
+mypy is a CI-only dependency (see ``.github/workflows/ci.yml``); this
+test self-skips where it is not installed so the tier-1 suite stays
+runnable on a bare interpreter.
+"""
+
+import importlib.util
+import subprocess
+import sys
+
+import pytest
+
+from tests.analyze.conftest import REPO_ROOT
+
+mypy_missing = importlib.util.find_spec("mypy") is None
+
+
+@pytest.mark.skipif(mypy_missing, reason="mypy not installed")
+def test_strict_packages_type_check():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, \
+        f"mypy failed:\n{result.stdout}\n{result.stderr}"
