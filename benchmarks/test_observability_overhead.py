@@ -78,4 +78,17 @@ def test_tracing_does_not_perturb_the_simulation():
     assert on.dram_write_lines == off.dram_write_lines
     assert on.node_counters == off.node_counters
     assert on.qpi_crossings == off.qpi_crossings
+
+
+def test_attribution_does_not_perturb_the_simulation():
+    """Profiling reads counters at span boundaries; it must never
+    change them — the attributed run's totals equal the plain run's."""
+    _, off = _run_fop(enabled=False)
+    profiled = ExperimentRunner(profile=True)
+    on = profiled.run("fop", "PCM-Only")
+    assert on.pcm_write_lines == off.pcm_write_lines
+    assert on.dram_write_lines == off.dram_write_lines
+    assert on.node_counters == off.node_counters
+    assert on.qpi_crossings == off.qpi_crossings
+    assert on.profile is not None and off.profile is None
     assert on.per_tag_pcm_writes == off.per_tag_pcm_writes

@@ -1,12 +1,15 @@
 """Hook-coverage checker (H001).
 
-The fault-injection and sanitizer subsystems only see what the hot
-paths *tell* them: a state-mutating operation without its
+The fault-injection, sanitizer, and tracing subsystems only see what
+the hot paths *tell* them: a state-mutating operation without its
 ``FAULTS.arrive(...)`` / ``SANITIZE.<op>(...)`` pair is invisible to
-both crash-tolerance testing and invariant checking.  The registered
-sites (:data:`repro.analyze.config.DEFAULT_HOOK_SITES`) are the
-operations the fault plans and the sanitizer's op-table know about —
-mmap/munmap/reclaim, heap commit, GC rounds, cache flushes.
+both crash-tolerance testing and invariant checking, and one without a
+``TRACER`` span or event is invisible to the attribution profiler —
+its counter movement silently lands in the enclosing phase.  The
+registered sites (:data:`repro.analyze.config.DEFAULT_HOOK_SITES`) are
+the operations the fault plans, the sanitizer's op-table, and the
+profiler's phase tree know about — mmap/munmap/reclaim, heap commit,
+GC rounds and phases, monitor samples, cache flushes.
 
 ``H001`` fires when a registered operation is *defined* in the scanned
 file but its body (including nested helpers) never calls the required
@@ -27,6 +30,14 @@ from repro.analyze.engine import Checker, Finding, ScopeContext
 #: FAULTS``, which the alias map resolves to ``repro.faults.FAULTS``.
 _FAULTS_MARKERS = ("FAULTS.arrive",)
 _SANITIZE_ROOT = "SANITIZE."
+_TRACE_ROOT = "TRACER."
+
+#: Rendered hook-call hint per kind (H001 message text).
+_HOOK_HINTS = {
+    "faults": "FAULTS.arrive(...)",
+    "sanitize": "SANITIZE hook",
+    "trace": "TRACER span/event",
+}
 
 
 class HookCoverageChecker(Checker):
@@ -75,6 +86,8 @@ class HookCoverageChecker(Checker):
             kind = "faults"
         elif name.startswith(_SANITIZE_ROOT) or f".{_SANITIZE_ROOT}" in name:
             kind = "sanitize"
+        elif name.startswith(_TRACE_ROOT) or f".{_TRACE_ROOT}" in name:
+            kind = "trace"
         if kind is None:
             return None
         self._hooks.setdefault(ctx.qualname(), set()).add(kind)
@@ -90,8 +103,7 @@ class HookCoverageChecker(Checker):
             for kind in kinds:
                 if kind in seen:
                     continue
-                hook = "FAULTS.arrive(...)" if kind == "faults" \
-                    else "SANITIZE hook"
+                hook = _HOOK_HINTS.get(kind, f"{kind} hook")
                 findings.append(Finding(
                     rule="H001",
                     path=ctx.module.display_path,
@@ -99,8 +111,8 @@ class HookCoverageChecker(Checker):
                     col=1,
                     message=(f"{qualname} mutates simulated state but "
                              f"never calls its required {hook}; fault "
-                             f"plans and the sanitizer cannot see this "
-                             f"operation"),
+                             f"plans, the sanitizer, and the profiler "
+                             f"cannot see this operation"),
                     key=(f"H001::{ctx.module.name}::"
                          f"{qualname}:{kind}"),
                     symbol=qualname,

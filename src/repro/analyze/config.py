@@ -118,14 +118,22 @@ DEFAULT_ENGINE_FUNCTIONS: Tuple[str, ...] = (
 #: State-mutating operations that must carry their hook pair.
 #: Each entry: (module, qualname, required hook kinds).
 DEFAULT_HOOK_SITES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
-    ("repro.kernel.vm", "Kernel.mmap_bind", ("faults", "sanitize")),
+    ("repro.kernel.vm", "Kernel.mmap_bind", ("faults", "sanitize", "trace")),
     ("repro.kernel.vm", "Kernel.munmap", ("faults", "sanitize")),
     ("repro.kernel.vm", "Kernel.reclaim_process", ("faults", "sanitize")),
     ("repro.runtime.heap", "HybridHeap.may_commit", ("faults",)),
     ("repro.runtime.heap", "HybridHeap.note_chunk_acquired", ("sanitize",)),
-    ("repro.runtime.jvm", "JavaVM.minor_collect", ("faults", "sanitize")),
-    ("repro.runtime.jvm", "JavaVM.full_collect", ("faults", "sanitize")),
-    ("repro.machine.numa", "NumaMachine.flush_all", ("faults", "sanitize")),
+    ("repro.runtime.jvm", "JavaVM.minor_collect",
+     ("faults", "sanitize", "trace")),
+    ("repro.runtime.jvm", "JavaVM.full_collect",
+     ("faults", "sanitize", "trace")),
+    ("repro.machine.numa", "NumaMachine.flush_all",
+     ("faults", "sanitize", "trace")),
+    ("repro.core.collectors.base", "Collector.minor_collect", ("trace",)),
+    ("repro.core.collectors.base", "Collector.mark_and_sweep", ("trace",)),
+    ("repro.core.monitor", "WriteRateMonitor.sample", ("faults", "trace")),
+    ("repro.core.platform", "HybridMemoryPlatform.run",
+     ("sanitize", "trace")),
 )
 
 

@@ -6,6 +6,7 @@
     python -m repro run -b lusearch -c KG-W -n 4
     python -m repro run -b lusearch -c KG-W --json
     python -m repro trace figure4 --out trace.jsonl
+    python -m repro profile -b lusearch -c KG-W --format chrome --out prof.json
     python -m repro stats -b fop -c KG-N
     python -m repro sweep -b lusearch,fop -c KG-N,KG-W -j 4
     python -m repro sanitize --seed 0 --ops 20000
@@ -25,7 +26,16 @@ from typing import List, Optional
 from repro.config import DEFAULT_SCALE_CONFIG, RECOMMENDED_WRITE_RATE_MBS
 from repro.core.collectors import ALL_COLLECTOR_NAMES
 from repro.core.platform import EmulationMode, HybridMemoryPlatform
-from repro.observability import METRICS, TRACER, enable_console, run_report
+from repro.observability import (
+    METRICS,
+    PROFILER,
+    TRACER,
+    attribution_table,
+    enable_console,
+    run_report,
+    to_chrome_trace,
+    to_folded,
+)
 from repro.workloads.registry import benchmark_factory, benchmarks_in_suite
 
 
@@ -75,6 +85,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="output path (default: trace.jsonl)")
     trace.add_argument("--capacity", type=int, default=None,
                        help="override the trace ring-buffer capacity")
+
+    profile = sub.add_parser(
+        "profile", help="measure one configuration with the write-"
+                        "attribution profiler on and export the "
+                        "per-phase counter attribution")
+    _add_measurement_args(profile)
+    profile.add_argument("--format", default="table",
+                         choices=["chrome", "folded", "table", "json"],
+                         help="chrome = trace-event JSON (load in "
+                              "Perfetto), folded = flamegraph stacks, "
+                              "table = aligned ASCII, json = the raw "
+                              "repro.profile/v1 artifact")
+    profile.add_argument("--by", default="phase",
+                         choices=["phase", "space", "socket"],
+                         help="attribution view for --format table")
+    profile.add_argument("--counter", default="pcm.writes",
+                         help="counter exported by --format folded "
+                              "(default: pcm.writes)")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="write the export here instead of stdout")
 
     stats = sub.add_parser(
         "stats", help="measure one configuration and render the "
@@ -206,6 +236,14 @@ def _measure(args: argparse.Namespace, track_wear: bool = False):
                         instances=args.instances)
 
 
+def _warn_dropped(context: str) -> None:
+    """One stderr line when the tracer's ring buffer overflowed."""
+    if TRACER.dropped:
+        print(f"warning: {context}: trace buffer overflowed, "
+              f"{TRACER.dropped} record(s) dropped (raise the capacity "
+              f"to keep them)", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         # Trace the run so the report can include GC phase spans.
@@ -215,9 +253,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             result = _measure(args, track_wear=args.track_wear)
             report = run_report(result, gc_spans=TRACER.spans("gc."),
-                                metrics=METRICS.as_dict())
+                                metrics=METRICS.as_dict(),
+                                trace_dropped=TRACER.dropped)
         finally:
             TRACER.enabled = was_enabled
+        _warn_dropped("run")
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
 
@@ -423,9 +463,55 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    # Tracing must be on too: the Chrome exporter renders the span
+    # records, and the profiler needs span boundaries either way.
+    was_traced = TRACER.enabled
+    was_profiled = PROFILER.enabled
+    TRACER.clear()
+    TRACER.enable()
+    PROFILER.enable()
+    try:
+        result = _measure(args)
+    finally:
+        TRACER.enabled = was_traced
+        PROFILER.enabled = was_profiled
+    _warn_dropped("profile")
+    profile = result.profile
+    if profile is None:  # pragma: no cover - defensive
+        print("error: the run produced no profile artifact",
+              file=sys.stderr)
+        return 1
+    if args.format == "chrome":
+        text = json.dumps(to_chrome_trace(profile), sort_keys=True)
+    elif args.format == "folded":
+        text = to_folded(profile, counter=args.counter)
+    elif args.format == "json":
+        text = json.dumps(profile, indent=2, sort_keys=True)
+    else:
+        text = attribution_table(
+            profile, by=args.by,
+            title=f"Write attribution ({result.benchmark}, "
+                  f"{result.collector}, by {args.by}):")
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"cannot write profile to {args.out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.format} profile to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     result = _measure(args)
     print(result.describe())
+    if TRACER.dropped:
+        print(f"trace.dropped: {TRACER.dropped}")
     print()
     print(METRICS.render_table(title="Metrics registry:"))
     return 0
@@ -541,6 +627,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "sanitize":

@@ -103,20 +103,28 @@ class Collector:
         observer = vm.observer
         collect_observer = observer is not None and (
             force_observer or observer.bytes_free < nursery.bytes_used)
-        nursery_live, observer_live = self._trace_young(vm, collect_observer)
+        frame = TRACER.push("gc.trace")
+        try:
+            nursery_live, observer_live = self._trace_young(
+                vm, collect_observer)
+        finally:
+            TRACER.pop(frame)
         if collect_observer:
-            tracer = TRACER
-            start = tracer.begin() if tracer.enabled else 0.0
-            for obj in observer_live:
-                self._tenure_observer(vm, obj)
-            observer.reset()
-            vm.stats.observer_collections += 1
-            if tracer.enabled:
-                tracer.complete("gc.observer", start,
-                                collector=self.config.name,
-                                survivors=len(observer_live))
-        for obj in nursery_live:
-            self._promote_nursery(vm, obj)
+            frame = TRACER.push("gc.observer")
+            try:
+                for obj in observer_live:
+                    self._tenure_observer(vm, obj)
+                observer.reset()
+                vm.stats.observer_collections += 1
+            finally:
+                TRACER.pop(frame, collector=self.config.name,
+                           survivors=len(observer_live))
+        frame = TRACER.push("gc.promote")
+        try:
+            for obj in nursery_live:
+                self._promote_nursery(vm, obj)
+        finally:
+            TRACER.pop(frame, survivors=len(nursery_live))
         nursery.reset()
         # Any survivor that left the young region (observer tenure, or
         # pretenured straight to mature) may still reference young
@@ -228,22 +236,33 @@ class Collector:
         heap = vm.heap
         heap.gc_epoch += 1
         epoch = heap.gc_epoch
-        stack: List[Obj] = [r for r in vm.roots if r is not None]
-        while stack:
-            obj = stack.pop()
-            if obj.mark == epoch:
-                continue
-            obj.mark = epoch
-            thread = vm.gc_thread()
-            num_refs = len(obj.refs)
-            thread.access_block(obj.addr, HEADER_BYTES + REF_BYTES * num_refs,
-                                False)
-            thread.access(heap.mark_addr(obj), 1, True)
-            if num_refs:
-                stack.extend(ref for ref in obj.refs if ref is not None)
+        marked = 0
+        frame = TRACER.push("gc.mark")
+        try:
+            stack: List[Obj] = [r for r in vm.roots if r is not None]
+            while stack:
+                obj = stack.pop()
+                if obj.mark == epoch:
+                    continue
+                obj.mark = epoch
+                marked += 1
+                thread = vm.gc_thread()
+                num_refs = len(obj.refs)
+                thread.access_block(obj.addr,
+                                    HEADER_BYTES + REF_BYTES * num_refs,
+                                    False)
+                thread.access(heap.mark_addr(obj), 1, True)
+                if num_refs:
+                    stack.extend(ref for ref in obj.refs if ref is not None)
+        finally:
+            TRACER.pop(frame, marked=marked)
         freed = 0
-        for space in heap.chunked_spaces():
-            freed += space.sweep(epoch)
+        frame = TRACER.push("gc.sweep")
+        try:
+            for space in heap.chunked_spaces():
+                freed += space.sweep(epoch)
+        finally:
+            TRACER.pop(frame, freed_bytes=freed)
         # Drop remset entries whose source died.
         survivors: List[Obj] = []
         for src in vm.remset:

@@ -73,19 +73,25 @@ class WriteRateMonitor:
             # pcm-memory reader stuck on an old snapshot.
             stale = FAULTS.arrive("monitor.sample",
                                   round=round_index) == "stale"
-        if stale and self.samples:
-            node_writes = list(self.samples[-1].node_writes)
-        else:
-            node_writes = [node.write_lines for node in machine.nodes]
-        record = MonitorSample(round_index=round_index,
-                               node_writes=node_writes)
-        self.samples.append(record)
-        # The monitor writes its record plus working-set churn.
-        for _ in range(self.noise_lines_per_sample):
-            offset = (self._cursor * 64) % (self._buffer_bytes - 64)
-            self._cursor += 1
-            self.thread.access(self._buffer_start + offset, 64, True)
-        METRICS.inc("monitor.samples")
+        # A span (not an event) so the monitor's own write noise is
+        # attributed to it by the profiler, not to the mutator.
+        frame = TRACER.push("monitor.sample", round=round_index)
+        try:
+            if stale and self.samples:
+                node_writes = list(self.samples[-1].node_writes)
+            else:
+                node_writes = [node.write_lines for node in machine.nodes]
+            record = MonitorSample(round_index=round_index,
+                                   node_writes=node_writes)
+            self.samples.append(record)
+            # The monitor writes its record plus working-set churn.
+            for _ in range(self.noise_lines_per_sample):
+                offset = (self._cursor * 64) % (self._buffer_bytes - 64)
+                self._cursor += 1
+                self.thread.access(self._buffer_start + offset, 64, True)
+            METRICS.inc("monitor.samples")
+        finally:
+            TRACER.pop(frame)
         if TRACER.enabled:
             TRACER.event("monitor.sample", round=round_index,
                          node_writes=list(record.node_writes))

@@ -46,6 +46,7 @@ from repro.machine.topology import (
     sniper_simulation_spec,
 )
 from repro.observability.metrics import METRICS, sanitize
+from repro.observability.profile import PROFILER, attributed_total
 from repro.observability.trace import TRACER
 from repro.runtime.jvm import JavaVM, RuntimeStats
 from repro.sanitize.invariants import SANITIZE
@@ -109,6 +110,10 @@ class MeasurementResult:
     #: Host wall-clock seconds the whole run() call took (both
     #: iterations), for harness-level profiling.
     host_seconds: float = 0.0
+    #: Per-phase counter attribution (schema ``repro.profile/v1``);
+    #: None unless :data:`repro.observability.profile.PROFILER` was
+    #: enabled during the run.
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def pcm_write_bytes(self) -> int:
@@ -135,6 +140,41 @@ class MeasurementResult:
                 f"({self.pcm_write_rate_mbs:.1f} MB/s), "
                 f"DRAM {self.dram_write_lines} lines, "
                 f"{self.elapsed_seconds * 1e3:.2f} ms")
+
+
+def _counter_snapshot(machine, kernel: Kernel) -> Dict[str, int]:
+    """Flat counter snapshot the profiler diffs at every span boundary.
+
+    Names here define the counter vocabulary of the profile artifact:
+    headline node counters, per-socket LLC/memory counters (``by
+    socket`` view), and per-heap-tag write counters (``by space``
+    view).  All monotonic between barrier resets.
+    """
+    pcm = machine.nodes[PCM_NODE]
+    dram = machine.nodes[DRAM_NODE]
+    snap: Dict[str, int] = {
+        "pcm.writes": pcm.write_lines,
+        "pcm.reads": pcm.read_lines,
+        "dram.writes": dram.write_lines,
+        "dram.reads": dram.read_lines,
+        "qpi.crossings": machine.qpi_crossings,
+        "page_faults": kernel.page_faults,
+        "pages_mapped": kernel.pages_mapped,
+    }
+    for socket in machine.sockets:
+        stats = socket.llc.stats
+        prefix = f"socket{socket.socket_id}"
+        snap[f"{prefix}.llc.hits"] = stats.hits
+        snap[f"{prefix}.llc.misses"] = stats.misses
+        snap[f"{prefix}.llc.evictions"] = stats.evictions
+        snap[f"{prefix}.llc.dirty_evictions"] = stats.dirty_evictions
+        snap[f"{prefix}.mem.writes"] = socket.memory.write_lines
+        snap[f"{prefix}.mem.reads"] = socket.memory.read_lines
+    for tag, count in pcm.writes_by_tag.items():
+        snap[f"pcm.writes.tag.{tag}"] = count
+    for tag, count in dram.writes_by_tag.items():
+        snap[f"dram.writes.tag.{tag}"] = count
+    return snap
 
 
 class HybridMemoryPlatform:
@@ -262,6 +302,9 @@ class HybridMemoryPlatform:
         apps: List[object] = []
         ctxs = []
         wear_tracker = None
+        profiling = PROFILER.enabled
+        run_frame = None
+        mutator_frame = None
         try:
             for index in range(instances):
                 app = self._make_app(app_factory, index)
@@ -299,6 +342,14 @@ class HybridMemoryPlatform:
             stat_marks = [vm.stats.copy() for vm in vms]
             mutator_marks = [sum(t.cycles for t in vm.app_threads)
                              for vm in vms]
+            if profiling:
+                # Baseline sits exactly at the barrier, so attributed
+                # deltas and the result's counters share a zero point.
+                PROFILER.begin_run(
+                    lambda: _counter_snapshot(machine, kernel))
+            run_frame = TRACER.push(
+                "run", benchmark=getattr(apps[0], "name", "custom"),
+                collector=collector, instances=instances)
 
             # ---- iteration 2: measured, all instances starting together
             measured = Scheduler(seed=self.seeds.scheduler + 1,
@@ -309,8 +360,13 @@ class HybridMemoryPlatform:
                 if monitor is not None and round_index % interval == 0:
                     monitor.sample(round_index)
 
-            measured.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)],
-                         on_round=on_round)
+            mutator_frame = TRACER.push("mutator")
+            try:
+                measured.run(
+                    [app.iteration(ctx) for app, ctx in zip(apps, ctxs)],
+                    on_round=on_round)
+            finally:
+                TRACER.pop(mutator_frame)
 
             # ---- gather results
             elapsed_cycles = 0.0
@@ -377,6 +433,26 @@ class HybridMemoryPlatform:
                 result.wear_imbalance = wear_tracker.imbalance()
                 result.wear_efficiency = effective_endurance_efficiency(
                     wear_tracker)
+            TRACER.pop(run_frame)
+            if profiling:
+                result.profile = PROFILER.end_run(
+                    benchmark=result.benchmark, collector=collector,
+                    instances=instances, mode=self.mode.value)
+                if SANITIZE.active is not None:
+                    # Conservation is checked only on counters the
+                    # barrier resets — they share the profile baseline.
+                    totals = {
+                        "pcm.writes": result.pcm_write_lines,
+                        "dram.writes": result.dram_write_lines,
+                        "pcm.reads": pcm_node.read_lines,
+                        "dram.reads": dram_node.read_lines,
+                        "qpi.crossings": result.qpi_crossings,
+                    }
+                    attributed = {
+                        name: attributed_total(result.profile, name)
+                        for name in totals}
+                    SANITIZE.check_attribution(attributed, totals,
+                                               "platform.run")
             self._publish_space_metrics(vms)
             if SANITIZE.active is not None:
                 # Full end-of-run sweep while the VMs and the wear
@@ -386,6 +462,10 @@ class HybridMemoryPlatform:
             # Body failed: tear everything down but let the original
             # exception propagate (teardown failures are recorded, not
             # raised — they must never mask the actual fault).
+            if profiling and PROFILER.active:
+                PROFILER.abort_run()
+            TRACER.pop(mutator_frame)  # no-op when already closed
+            TRACER.pop(run_frame)
             self._teardown(wear_tracker, vms, monitor, raise_errors=False)
             raise
         else:

@@ -71,9 +71,13 @@ class FaultError(RuntimeError):
     """Generic injected failure (the default ``raise`` payload)."""
 
 
-def make_exception(kind: str, site: str, arrival: int,
+def make_exception(kind: str, site: str, arrival: int, /,
                    **context) -> BaseException:
     """Build the exception a ``raise`` action throws.
+
+    The first three parameters are positional-only: site contexts are
+    free-form keyword dicts (``runtime.gc`` passes ``kind="minor"``)
+    and must never collide with them.
 
     ``kind`` selects the same exception type the organic failure would
     produce, so handlers cannot tell an injected fault from a real one:

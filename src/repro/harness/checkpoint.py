@@ -65,6 +65,7 @@ def result_to_dict(result: MeasurementResult) -> Dict:
         "llc_stats": [dict(s) for s in result.llc_stats],
         "qpi_crossings": result.qpi_crossings,
         "host_seconds": result.host_seconds,
+        "profile": result.profile,
     }
 
 
@@ -92,6 +93,7 @@ def result_from_dict(data: Dict) -> MeasurementResult:
         llc_stats=[dict(s) for s in data["llc_stats"]],
         qpi_crossings=data["qpi_crossings"],
         host_seconds=data.get("host_seconds", 0.0),
+        profile=data.get("profile"),
     )
 
 

@@ -52,6 +52,7 @@ from repro.core.platform import (
 )
 from repro.observability.log import narrate
 from repro.observability.metrics import METRICS
+from repro.observability.profile import PROFILER
 from repro.observability.trace import TRACER
 
 
@@ -144,6 +145,13 @@ class SweepReport:
     def failures(self) -> List[RunOutcome]:
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
+    @property
+    def profiles(self) -> List[Optional[Dict]]:
+        """Per-key profile artifacts in input order (``None`` when the
+        key failed or the sweep ran without profiling)."""
+        return [outcome.result.profile if outcome.result is not None
+                else None for outcome in self.outcomes]
+
     def raise_first_failure(self) -> None:
         """Re-raise the first failed key's exception (strict mode)."""
         for outcome in self.outcomes:
@@ -168,7 +176,7 @@ class _Exec:
     attempts: int = 1
 
 
-def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int]
+def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int, bool]
                 ) -> Tuple[MeasurementResult, Dict[str, Dict[str, float]]]:
     """Execute one configuration in a pool worker process.
 
@@ -176,14 +184,16 @@ def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int]
     method.  The worker's global registry is reset first: pool workers
     are reused across tasks (and fork inherits the parent's counters),
     so without the reset a worker's snapshot would double-count earlier
-    runs when merged.  The trailing ``attempt`` element exists for the
-    env-keyed fault shim (crash/hang-on-Nth-attempt testing).
+    runs when merged.  The ``attempt`` element exists for the env-keyed
+    fault shim (crash/hang-on-Nth-attempt testing); the trailing
+    ``profile`` flag turns on the attribution profiler for the run
+    (workers are reused, so it is always restored afterwards).
     """
     from repro.faults.worker import maybe_fault
     from repro.workloads.registry import benchmark_factory
 
     benchmark, collector, instances, dataset, mode_value, llc_size, \
-        scale_int, attempt = payload
+        scale_int, attempt, profile = payload
     maybe_fault(payload[:7], attempt)
     METRICS.reset()
     platform = HybridMemoryPlatform(mode=EmulationMode(mode_value),
@@ -195,8 +205,14 @@ def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int]
     def make_app(index: int, scale=scale):
         return factory(index, dataset=dataset, scale=scale)
 
-    result = platform.run(make_app, collector=collector,
-                          instances=instances)
+    if profile:
+        PROFILER.enable()
+    try:
+        result = platform.run(make_app, collector=collector,
+                              instances=instances)
+    finally:
+        if profile:
+            PROFILER.disable()
     return result, METRICS.as_dict()
 
 
@@ -208,11 +224,18 @@ class ExperimentRunner:
     verbose:
         Narrate one line per fresh (non-cached) run through the
         ``repro`` logger (see :mod:`repro.observability.log`).
+    profile:
+        Enable the attribution profiler for every fresh run this
+        runner performs (serial, isolated, and pool workers alike);
+        results then carry a ``repro.profile/v1`` artifact in
+        ``result.profile``.  A runner-level mode rather than a per-run
+        flag so the memoisation cache stays internally consistent.
     """
 
-    def __init__(self, verbose: bool = False) -> None:
+    def __init__(self, verbose: bool = False, profile: bool = False) -> None:
         self._cache: Dict[RunKey, MeasurementResult] = {}
         self.verbose = verbose
+        self.profile = profile
         #: Fresh (non-cached) platform runs this runner performed.
         self.executions = 0
         #: Runs answered from the memoisation cache.
@@ -255,8 +278,7 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Execution plumbing
     # ------------------------------------------------------------------
-    @staticmethod
-    def _execute(key: RunKey) -> MeasurementResult:
+    def _execute(self, key: RunKey) -> MeasurementResult:
         """Build a platform and run ``key``'s configuration, uncached."""
         from repro.workloads.registry import benchmark_factory
 
@@ -268,8 +290,14 @@ class ExperimentRunner:
         def make_app(index: int, scale=scale):
             return factory(index, dataset=key.dataset, scale=scale)
 
-        return platform.run(make_app, collector=key.collector,
-                            instances=key.instances)
+        if self.profile:
+            PROFILER.enable()
+        try:
+            return platform.run(make_app, collector=key.collector,
+                                instances=key.instances)
+        finally:
+            if self.profile:
+                PROFILER.disable()
 
     def _run_isolated(self, key: RunKey
                       ) -> Tuple[MeasurementResult, Dict]:
@@ -292,10 +320,10 @@ class ExperimentRunner:
             METRICS.merge(saved)
         return result, snapshot
 
-    @staticmethod
-    def _payload(key: RunKey, attempt: int):
+    def _payload(self, key: RunKey, attempt: int):
         return (key.benchmark, key.collector, key.instances, key.dataset,
-                key.mode.value, key.llc_size, key.scale, attempt)
+                key.mode.value, key.llc_size, key.scale, attempt,
+                self.profile)
 
     @staticmethod
     def _note_retry(key: RunKey, attempt: int, exc: BaseException) -> None:

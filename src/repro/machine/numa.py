@@ -17,6 +17,7 @@ from repro.config import LatencyModel
 from repro.faults.plan import FAULTS
 from repro.machine.cache import CacheLevel
 from repro.machine.memory import MemoryNode, node_of_line
+from repro.observability.trace import TRACER
 from repro.sanitize.invariants import SANITIZE
 
 
@@ -255,11 +256,17 @@ class NumaMachine:
         """Flush private caches and every LLC out to memory."""
         if FAULTS.active is not None:  # fault hook: die before the drain
             FAULTS.arrive("machine.flush_all", paths=len(core_paths))
-        for path in core_paths:
-            path.drain()
-        for socket in self.sockets:
-            for line in socket.llc.flush():
-                self.memory_write(line)
+        # Span so the drain's write-backs are attributed to the flush
+        # phase, not to whichever phase triggered it.
+        frame = TRACER.push("machine.flush", paths=len(core_paths))
+        try:
+            for path in core_paths:
+                path.drain()
+            for socket in self.sockets:
+                for line in socket.llc.flush():
+                    self.memory_write(line)
+        finally:
+            TRACER.pop(frame)
         if SANITIZE.active is not None:
             SANITIZE.machine_op(self, "flush_all")
 

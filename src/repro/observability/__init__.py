@@ -16,24 +16,42 @@ this package is the reproduction's equivalent of that tooling:
 * :mod:`repro.observability.log` — the ``logging``-based narrator used
   instead of bare ``print`` so library consumers can silence or
   redirect progress output.
+* :mod:`repro.observability.profile` — the write-attribution
+  profiler: counter deltas per hierarchical span path, with Chrome
+  trace-event, folded-stacks, and ASCII-table exporters (the
+  ``repro profile`` verb).  Off by default, like the tracer.
 * :mod:`repro.observability.report` — machine-readable run reports
   (the ``repro run --json`` payload).
 """
 
 from repro.observability.log import enable_console, get_logger, narrate
 from repro.observability.metrics import METRICS, MetricsRegistry, sanitize
+from repro.observability.profile import (
+    PROFILER,
+    Profiler,
+    attribution_table,
+    parse_folded,
+    to_chrome_trace,
+    to_folded,
+)
 from repro.observability.report import run_report, sweep_report
 from repro.observability.trace import TRACER, Tracer
 
 __all__ = [
     "METRICS",
     "MetricsRegistry",
+    "PROFILER",
+    "Profiler",
     "TRACER",
     "Tracer",
+    "attribution_table",
     "enable_console",
     "get_logger",
     "narrate",
+    "parse_folded",
     "run_report",
     "sanitize",
     "sweep_report",
+    "to_chrome_trace",
+    "to_folded",
 ]

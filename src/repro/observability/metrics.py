@@ -14,6 +14,7 @@ the ``repro stats`` CLI verb renders.  Tests and the CLI can
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -70,16 +71,51 @@ class Gauge:
         return {"value": self.value}
 
 
-class Histogram:
-    """Streaming summary of observations (count/sum/min/max/mean).
+#: Log-scale bucket base for histogram percentiles (~10 % relative
+#: error).  Fixed for every histogram so bucket counts from different
+#: registries are directly addable — the property that makes sweep
+#: shard merges order-independent.
+_GAMMA = 1.2
+_LOG_GAMMA = math.log(_GAMMA)
 
-    Keeps O(1) state rather than every observation: the registry must
-    stay cheap even when a full reproduction pushes thousands of
-    samples through it.
+
+def _bucket_key(value: float) -> str:
+    """Fixed bucket for ``value``: ``0``, ``p<i>``, or ``n<i>``.
+
+    Positive values land in bucket ``i = ceil(log(v)/log(GAMMA))``
+    (i.e. ``GAMMA**(i-1) < v <= GAMMA**i``); negatives mirror via their
+    magnitude.  The mapping depends only on the value, never on
+    insertion order or prior state.
+    """
+    if value > 0:
+        return f"p{math.ceil(math.log(value) / _LOG_GAMMA)}"
+    if value < 0:
+        return f"n{math.ceil(math.log(-value) / _LOG_GAMMA)}"
+    return "0"
+
+
+def _bucket_mid(key: str) -> float:
+    """Representative value for a bucket (geometric-interval midpoint)."""
+    if key == "0":
+        return 0.0
+    index = int(key[1:])
+    mid = (_GAMMA ** (index - 1) + _GAMMA ** index) / 2.0
+    return mid if key[0] == "p" else -mid
+
+
+class Histogram:
+    """Streaming summary of observations (count/sum/min/max/percentiles).
+
+    Keeps O(1) exact state (count/sum/min/max) plus fixed log-scale
+    bucket counts for percentile estimates (~10 % relative error).
+    Buckets are value-determined, so combining two histograms is a
+    plain bucket-wise addition — commutative and associative, which is
+    what keeps :meth:`MetricsRegistry.merge` deterministic however the
+    sweep shards arrive.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -87,6 +123,7 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: Dict[str, int] = {}
 
     def observe(self, value: Union[int, float]) -> None:
         value = float(value)
@@ -96,6 +133,8 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        key = _bucket_key(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -105,13 +144,44 @@ class Histogram:
     def value(self) -> float:
         return self.mean
 
-    def summary(self) -> Dict[str, Union[int, float]]:
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the bucket counts.
+
+        Walks the buckets in value order to the target rank and clamps
+        the bucket midpoint into the exact observed ``[min, max]``.
+        Returns 0.0 for an empty histogram.
+        """
+        if not self.count:
+            return 0.0
+        if not self.buckets:
+            # Merged from a pre-percentile snapshot that carried no
+            # buckets: the mean (clamped below) is the best estimate.
+            return min(max(self.mean, self.min or 0.0), self.max or 0.0)
+        target = max(1, math.ceil(q * self.count))
+        ordered = sorted(self.buckets.items(),
+                         key=lambda item: _bucket_mid(item[0]))
+        cumulative = 0
+        estimate = _bucket_mid(ordered[-1][0])
+        for key, count in ordered:
+            cumulative += count
+            if cumulative >= target:
+                estimate = _bucket_mid(key)
+                break
+        low = self.min if self.min is not None else estimate
+        high = self.max if self.max is not None else estimate
+        return min(max(estimate, low), high)
+
+    def summary(self) -> Dict[str, Union[int, float, Dict[str, int]]]:
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": dict(self.buckets),
         }
 
 
@@ -247,6 +317,11 @@ class MetricsRegistry:
                     histogram.min = summary["min"]
                 if histogram.max is None or summary["max"] > histogram.max:
                     histogram.max = summary["max"]
+                # Bucket-wise addition is commutative, so percentile
+                # estimates do not depend on shard arrival order.
+                for key, count in summary.get("buckets", {}).items():
+                    histogram.buckets[key] = (histogram.buckets.get(key, 0)
+                                              + int(count))
             else:
                 raise ValueError(
                     f"cannot merge metric {name!r} of kind {kind!r}")

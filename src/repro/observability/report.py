@@ -41,7 +41,8 @@ def _stats_dict(stats) -> Dict[str, object]:
 
 
 def run_report(result, gc_spans: Optional[List[Dict]] = None,
-               metrics: Optional[Dict[str, Dict]] = None) -> Dict:
+               metrics: Optional[Dict[str, Dict]] = None,
+               trace_dropped: Optional[int] = None) -> Dict:
     """Build the report dict for one measurement.
 
     Parameters
@@ -53,6 +54,11 @@ def run_report(result, gc_spans: Optional[List[Dict]] = None,
         the measurement ran; exported under ``gc.phases``.
     metrics:
         Optional :meth:`MetricsRegistry.as_dict` snapshot.
+    trace_dropped:
+        Records the tracer dropped (ring-buffer overflow) while this
+        measurement ran; surfaced under ``trace.dropped`` so consumers
+        know the span record is incomplete.  ``None`` omits the
+        section.
     """
     sockets = []
     for counters in result.node_counters:
@@ -97,6 +103,14 @@ def run_report(result, gc_spans: Optional[List[Dict]] = None,
             "efficiency": result.wear_efficiency,
             "imbalance": result.wear_imbalance,
         }
+    if getattr(result, "profile", None) is not None:
+        profile = result.profile
+        report["profile"] = {
+            "schema": profile.get("schema"),
+            "attribution": profile.get("self", {}),
+        }
+    if trace_dropped is not None:
+        report["trace"] = {"dropped": trace_dropped}
     if metrics is not None:
         report["metrics"] = metrics
     return report

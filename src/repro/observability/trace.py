@@ -15,12 +15,33 @@ boolean check::
 
 Record schema (one JSON object per line when exported):
 
-``{"type": "span", "name": ..., "ts": ..., "dur": ..., "attrs": {...}}``
+``{"type": "span", "name": ..., "id": ..., "parent": ..., "ts": ...,
+"dur": ..., "attrs": {...}}``
 ``{"type": "event", "name": ..., "ts": ..., "attrs": {...}}``
 
 ``ts`` is a host monotonic timestamp (``time.perf_counter`` seconds);
 ``dur`` is the span length in the same units.  Simulated quantities
 (cycle counts, line counts) travel in ``attrs``.
+
+Hierarchical spans
+------------------
+
+:meth:`Tracer.push` / :meth:`Tracer.pop` maintain a span *stack*: each
+open span knows its parent, gets a stable integer ``id`` (monotonic
+within a capture), and records its parent's ``id`` under ``parent``
+when closed.  ``pop`` unwinds the stack even when inner frames were
+abandoned by an exception, so a fault raised mid-phase cannot orphan
+the enclosing spans — instrumented sites wrap the body in
+``try/finally``.
+
+The stack also feeds the attribution profiler
+(:mod:`repro.observability.profile`): when :attr:`Tracer.boundary` is
+set, every push/pop first invokes it with the *current* span path (the
+``/``-joined names of the open spans) and the boundary timestamp, so
+counter deltas can be attributed to the exact phase that was active —
+exclusive intervals, summing to the global totals by construction.
+While both tracing and profiling are off, push/pop cost two attribute
+loads and a boolean test.
 """
 
 from __future__ import annotations
@@ -29,10 +50,14 @@ import json
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 #: Default ring-buffer capacity (records, not bytes).
 DEFAULT_CAPACITY = 65536
+
+#: An open span: ``[id, name, parent_id, start_ts, attrs, closed]``.
+#: A plain list (not a class) keeps push allocation-cheap.
+SpanFrame = list
 
 
 class Tracer:
@@ -57,6 +82,15 @@ class Tracer:
         self._clock = clock
         self._records: deque = deque(maxlen=capacity)
         self.dropped = 0
+        #: Open spans, innermost last.
+        self._stack: List[SpanFrame] = []
+        #: Next span id (stable within a capture; reset by clear()).
+        self._next_id = 1
+        #: Attribution hook: ``boundary(path, ts)`` is called at every
+        #: span push/pop *before* the stack changes, with the path that
+        #: was active for the interval just ending.  Set by the
+        #: profiler; ``None`` keeps push/pop near-free.
+        self.boundary: Optional[Callable[[str, float], None]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -70,6 +104,8 @@ class Tracer:
     def clear(self) -> None:
         self._records.clear()
         self.dropped = 0
+        self._stack.clear()
+        self._next_id = 1
 
     def set_capacity(self, capacity: int) -> None:
         """Resize the ring buffer, keeping the newest records."""
@@ -112,31 +148,108 @@ class Tracer:
         return self._clock()
 
     def complete(self, name: str, start: float, **attrs) -> None:
-        """Record a span that started at ``start`` and ends now."""
+        """Record a flat span that started at ``start`` and ends now.
+
+        Legacy (non-stacked) form: the span still gets a stable ``id``
+        and, when other spans are open, a ``parent`` link to the
+        innermost one — but it never participates in attribution.
+        """
         if not self.enabled:
             return
         now = self._clock()
-        record: Dict = {"type": "span", "name": name, "ts": start,
-                        "dur": now - start}
+        record: Dict = {"type": "span", "name": name, "id": self._next_id,
+                        "ts": start, "dur": now - start}
+        self._next_id += 1
+        if self._stack:
+            record["parent"] = self._stack[-1][0]
         if attrs:
             record["attrs"] = attrs
         self._append(record)
 
+    # ------------------------------------------------------------------
+    # Hierarchical spans
+    # ------------------------------------------------------------------
+    def current_path(self) -> str:
+        """``/``-joined names of the open spans (``""`` at top level)."""
+        return "/".join(frame[1] for frame in self._stack)
+
+    def depth(self) -> int:
+        """Number of open spans (test/debug aid)."""
+        return len(self._stack)
+
+    def push(self, name: str, **attrs) -> Optional[SpanFrame]:
+        """Open a nested span; returns the frame to hand to :meth:`pop`.
+
+        Returns ``None`` (and does nothing) while both tracing and
+        attribution are off — the caller passes it straight to ``pop``,
+        which treats ``None`` as a no-op.
+        """
+        boundary = self.boundary
+        if not self.enabled and boundary is None:
+            return None
+        now = self._clock()
+        if boundary is not None:
+            # Close the parent's exclusive interval before nesting.
+            boundary(self.current_path(), now)
+        parent = self._stack[-1][0] if self._stack else None
+        frame: SpanFrame = [self._next_id, name, parent, now, attrs, False]
+        self._next_id += 1
+        self._stack.append(frame)
+        return frame
+
+    def pop(self, frame: Optional[SpanFrame], **attrs) -> None:
+        """Close a span opened by :meth:`push` (no-op for ``None``).
+
+        Unwinds the stack down to (and including) ``frame`` even if
+        inner frames were left open, so exception paths that skip inner
+        pops cannot orphan the enclosing spans.  Idempotent: a frame
+        already closed by its own ``finally`` is skipped when an outer
+        exception handler pops it again.
+        """
+        if frame is None or frame[5]:
+            return
+        frame[5] = True
+        now = self._clock()
+        boundary = self.boundary
+        if boundary is not None:
+            # Close this span's own exclusive interval before popping.
+            boundary(self.current_path(), now)
+        try:
+            index = self._stack.index(frame)
+        except ValueError:
+            # clear() ran mid-span, or the frame belongs to another
+            # capture: nothing to unwind.
+            index = None
+        if index is not None:
+            del self._stack[index:]
+        if self.enabled:
+            span_id, name, parent, start, push_attrs = frame[:5]
+            record: Dict = {"type": "span", "name": name, "id": span_id,
+                            "ts": start, "dur": now - start}
+            if parent is not None:
+                record["parent"] = parent
+            merged = {**push_attrs, **attrs}
+            if merged:
+                record["attrs"] = merged
+            self._append(record)
+
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Optional[Dict]]:
-        """Context-manager form of :meth:`begin`/:meth:`complete`.
+        """Context-manager form of :meth:`push`/:meth:`pop`.
 
         Yields the mutable ``attrs`` dict so the body can attach
-        results, or ``None`` while tracing is disabled.
+        results, or ``None`` while tracing is disabled.  The ``finally``
+        guarantees the span closes (with ``dur``) even when the body
+        raises — fault-injection paths rely on this.
         """
-        if not self.enabled:
+        frame = self.push(name, **attrs)
+        if frame is None:
             yield None
             return
-        start = self._clock()
         try:
-            yield attrs
+            yield frame[4]
         finally:
-            self.complete(name, start, **attrs)
+            self.pop(frame)
 
     # ------------------------------------------------------------------
     # Reading / export

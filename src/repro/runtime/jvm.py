@@ -153,8 +153,12 @@ class JavaVM:
     # ------------------------------------------------------------------
     def _boot_image_load(self) -> None:
         """Write the boot image (the VM loading its image files)."""
-        self.gc_threads[0].access_block(
-            self.boot.start, self.boot.end - self.boot.start, True)
+        frame = TRACER.push("jvm.boot")
+        try:
+            self.gc_threads[0].access_block(
+                self.boot.start, self.boot.end - self.boot.start, True)
+        finally:
+            TRACER.pop(frame, bytes=self.boot.end - self.boot.start)
 
     # ------------------------------------------------------------------
     # GC plumbing
@@ -188,18 +192,20 @@ class JavaVM:
     def minor_collect(self) -> None:
         if FAULTS.active is not None:  # fault hook: crash at a safepoint
             FAULTS.arrive("runtime.gc", kind="minor")
-        tracer = TRACER
-        start = tracer.begin() if tracer.enabled else 0.0
+        frame = TRACER.push("gc.minor")
         before = sum(t.cycles for t in self.gc_threads)
-        self.collector.minor_collect(self)
+        try:
+            self.collector.minor_collect(self)
+        finally:
+            # The span closes (with dur and the pause measured so far)
+            # even when a fault aborts the collection mid-phase, so the
+            # span stack never orphans the enclosing run/mutator spans.
+            pause = sum(t.cycles for t in self.gc_threads) - before
+            TRACER.pop(frame, collector=self.collector.config.name,
+                       pause_cycles=pause // len(self.gc_threads))
         self.stats.minor_gcs += 1
-        pause = sum(t.cycles for t in self.gc_threads) - before
         self.stats.gc_cycles += pause
         self.stats.pauses.append(pause // len(self.gc_threads))
-        if tracer.enabled:
-            tracer.complete("gc.minor", start,
-                            collector=self.collector.config.name,
-                            pause_cycles=pause // len(self.gc_threads))
         if SANITIZE.active is not None:
             SANITIZE.gc_round(self)
 
@@ -208,17 +214,16 @@ class JavaVM:
         # runs on emergency (allocation-failure) collections.
         if FAULTS.active is not None:  # fault hook: crash at a safepoint
             FAULTS.arrive("runtime.gc", kind="full")
-        tracer = TRACER
-        start = tracer.begin() if tracer.enabled else 0.0
+        frame = TRACER.push("gc.full")
         before = sum(t.cycles for t in self.gc_threads)
-        self.collector.full_collect(self)
-        pause = sum(t.cycles for t in self.gc_threads) - before
+        try:
+            self.collector.full_collect(self)
+        finally:
+            pause = sum(t.cycles for t in self.gc_threads) - before
+            TRACER.pop(frame, collector=self.collector.config.name,
+                       pause_cycles=pause // len(self.gc_threads))
         self.stats.gc_cycles += pause
         self.stats.pauses.append(pause // len(self.gc_threads))
-        if tracer.enabled:
-            tracer.complete("gc.full", start,
-                            collector=self.collector.config.name,
-                            pause_cycles=pause // len(self.gc_threads))
         if SANITIZE.active is not None:
             SANITIZE.gc_round(self)
 

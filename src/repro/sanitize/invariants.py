@@ -45,6 +45,11 @@ violations):
     A Start-Gap leveler's logical-to-physical mapping is a bijection,
     its physical wear sums to writes + copies, and every gap movement
     (including the wrap) charged its copy write.
+``attribution_conservation``
+    The profiler's per-phase counter deltas (exclusive span intervals;
+    see :mod:`repro.observability.profile`) sum to the global counter
+    deltas for the same run — every write/read/QPI crossing is
+    attributed to exactly one leaf phase, none double-counted.
 
 Violations are recorded on :attr:`Sanitizer.violations`, counted in
 the metrics registry (``sanitize.violations.<law>``), emitted as
@@ -212,6 +217,31 @@ class Sanitizer:
                            f"{cache.name}: set {index} holds "
                            f"{len(cache_set)} lines, associativity is "
                            f"{cache.assoc}", cache=cache.name)
+
+    # ------------------------------------------------------------------
+    # Attribution law (profiler)
+    # ------------------------------------------------------------------
+    def check_attribution(self, attributed: Dict[str, int],
+                          totals: Dict[str, int],
+                          site: str = "profile") -> None:
+        """Per-phase attributed counter sums must equal the global deltas.
+
+        ``attributed`` maps counter name to the sum of that counter's
+        per-phase deltas (including the ``(outside)`` bucket);
+        ``totals`` maps the same names to the globally measured deltas.
+        The exclusive-interval construction makes these telescoping
+        sums, so any mismatch means a counter moved while the profiler
+        was not looking — a lost or double-counted boundary.
+        """
+        self.checks_run += 1
+        for name in sorted(totals):
+            total = totals[name]
+            summed = attributed.get(name, 0)
+            if summed != total:
+                self._flag("attribution_conservation", site,
+                           f"{name}: attributed sum ({summed}) != global "
+                           f"delta ({total})",
+                           counter=name, attributed=summed, total=total)
 
     # ------------------------------------------------------------------
     # Kernel-layer laws

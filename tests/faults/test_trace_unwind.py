@@ -1,0 +1,145 @@
+"""Span-stack hygiene under fault injection.
+
+A fault raised mid-phase rips through several open spans (monitor
+sample inside mutator inside run; GC phases inside a collection).  The
+tracer must unwind to depth zero, the profiler must unhook its
+boundary callback, and a retried sweep attempt must start from a clean
+stack — otherwise one injected fault poisons the attribution of every
+later run in the process.
+"""
+
+import pytest
+
+from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.faults import FAULTS, FaultError, FaultPlan
+from repro.harness.experiment import ExperimentRunner, RetryPolicy, RunKey
+from repro.observability.metrics import METRICS
+from repro.observability.profile import PROFILER
+from repro.observability.trace import TRACER
+from repro.workloads.base import BenchmarkApp
+
+
+@pytest.fixture(autouse=True)
+def pristine():
+    FAULTS.uninstall()
+    METRICS.reset()
+    TRACER.disable()
+    TRACER.boundary = None
+    TRACER.clear()
+    PROFILER.disable()
+    yield
+    FAULTS.uninstall()
+    METRICS.reset()
+    TRACER.disable()
+    TRACER.boundary = None
+    TRACER.clear()
+    PROFILER.disable()
+
+
+class SmallApp(BenchmarkApp):
+    """Enough allocation to run minor GCs and monitor samples."""
+
+    def __init__(self, index):
+        super().__init__("small", heap_budget=1024 * 1024,
+                         nursery_size=64 * 1024, app_threads=2)
+
+    def iteration(self, ctx):
+        for step in range(256):
+            obj = ctx.alloc(512, 2)
+            ctx.write_scalar(obj, 0)
+            if step % 16 == 0:
+                yield
+        yield
+
+
+def run_traced(plan=None):
+    platform = HybridMemoryPlatform(mode=EmulationMode.EMULATION)
+    TRACER.clear()
+    TRACER.enable()
+    PROFILER.enable()
+    try:
+        if plan is not None:
+            with FAULTS.installed(plan):
+                return platform.run(lambda index: SmallApp(index),
+                                    collector="KG-W", instances=1)
+        return platform.run(lambda index: SmallApp(index),
+                            collector="KG-W", instances=1)
+    finally:
+        PROFILER.disable()
+        TRACER.disable()
+
+
+class TestFaultMidSpan:
+    def test_monitor_fault_unwinds_to_depth_zero(self):
+        plan = FaultPlan().add("monitor.sample", at=2)
+        with pytest.raises(FaultError):
+            run_traced(plan)
+        assert TRACER.depth() == 0
+        assert TRACER.boundary is None
+        assert PROFILER.active is False
+
+    def test_gc_fault_closes_every_recorded_span(self):
+        plan = FaultPlan().add("runtime.gc", at=2)
+        with pytest.raises(FaultError):
+            run_traced(plan)
+        assert TRACER.depth() == 0
+        # Every span that made it to the buffer closed with a duration.
+        for span in TRACER.spans():
+            assert "dur" in span and span["dur"] >= 0
+
+    def test_next_run_is_unpoisoned(self):
+        plan = FaultPlan().add("monitor.sample", at=2)
+        with pytest.raises(FaultError):
+            run_traced(plan)
+        result = run_traced()
+        assert result.profile is not None
+        assert TRACER.depth() == 0
+        # The clean run's root span parents nothing stale: had the
+        # faulted run left frames open, "run" would have a parent.
+        (run_span,) = TRACER.spans("run")
+        assert "parent" not in run_span
+
+    def test_oom_mid_mutator_unwinds(self):
+        from repro.runtime.heap import OutOfMemoryError
+        plan = FaultPlan().add("runtime.alloc", at=100, error="oom")
+        with pytest.raises(OutOfMemoryError):
+            run_traced(plan)
+        assert TRACER.depth() == 0
+        assert PROFILER.active is False
+
+
+class TestSweepRetries:
+    def test_retried_attempt_profiles_cleanly(self):
+        """Attempt 1 faults mid-span; attempt 2 must succeed with a
+        conserving profile and an empty span stack."""
+        runner = ExperimentRunner(profile=True)
+        plan = FaultPlan().add("monitor.sample", at=2, times=1)
+        key = RunKey("fop", "KG-W", 1, "default", EmulationMode.EMULATION)
+        TRACER.enable()
+        try:
+            with FAULTS.installed(plan):
+                report = runner.sweep([key], max_workers=1,
+                                      retry=RetryPolicy(max_attempts=3,
+                                                        base_delay=0.0))
+        finally:
+            TRACER.disable()
+        (outcome,) = report.outcomes
+        assert outcome.failure is None
+        assert outcome.attempts == 2
+        assert outcome.result.profile is not None
+        assert TRACER.depth() == 0
+        assert PROFILER.active is False
+
+    def test_exhausted_retries_leave_clean_state(self):
+        runner = ExperimentRunner(profile=True)
+        plan = FaultPlan().add("monitor.sample", at=2, times=-1)
+        key = RunKey("fop", "KG-W", 1, "default", EmulationMode.EMULATION)
+        with FAULTS.installed(plan):
+            report = runner.sweep([key], max_workers=1,
+                                  retry=RetryPolicy(max_attempts=2,
+                                                    base_delay=0.0))
+        (outcome,) = report.outcomes
+        assert outcome.failure is not None
+        assert report.profiles == [None]
+        assert TRACER.depth() == 0
+        assert PROFILER.active is False

@@ -1,0 +1,98 @@
+"""Profiled sweeps: runner flag, report access, checkpoint survival.
+
+Profiling is a *runner-level* mode (``ExperimentRunner(profile=True)``)
+so the memoisation cache never mixes profiled and unprofiled results.
+The profile artifact must ride the whole harness path: serial sweep,
+``SweepReport.profiles``, the checkpoint JSONL, and a resumed sweep.
+"""
+
+import pytest
+
+from repro.core.platform import EmulationMode
+from repro.harness.checkpoint import result_from_dict, result_to_dict
+from repro.harness.experiment import ExperimentRunner, RunKey
+from repro.observability.profile import PROFILER, attributed_total
+
+
+@pytest.fixture(autouse=True)
+def profiler_off_after():
+    yield
+    PROFILER.disable()
+
+
+def _key(benchmark="fop", collector="KG-W"):
+    return RunKey(benchmark, collector, 1, "default",
+                  EmulationMode.EMULATION)
+
+
+class TestRunnerFlag:
+    def test_profiled_run_carries_conserving_artifact(self):
+        runner = ExperimentRunner(profile=True)
+        result = runner.run("fop", "KG-W")
+        profile = result.profile
+        assert profile is not None
+        assert attributed_total(profile, "pcm.writes") == \
+            result.pcm_write_lines
+        assert attributed_total(profile, "dram.writes") == \
+            result.dram_write_lines
+
+    def test_default_runner_does_not_profile(self):
+        runner = ExperimentRunner()
+        assert runner.run("fop", "KG-W").profile is None
+
+    def test_profiler_disabled_after_each_run(self):
+        runner = ExperimentRunner(profile=True)
+        runner.run("fop", "KG-W")
+        assert PROFILER.enabled is False
+
+    def test_cached_result_keeps_its_profile(self):
+        runner = ExperimentRunner(profile=True)
+        first = runner.run("fop", "KG-W")
+        second = runner.run("fop", "KG-W")
+        assert first is second
+        assert second.profile is not None
+
+
+class TestProfiledSweep:
+    def test_serial_sweep_reports_profiles_in_order(self):
+        runner = ExperimentRunner(profile=True)
+        keys = [_key(collector="KG-W"), _key(collector="KG-N")]
+        report = runner.sweep(keys, max_workers=1)
+        assert report.ok
+        assert all(profile is not None for profile in report.profiles)
+        collectors = [profile["meta"]["collector"]
+                      for profile in report.profiles]
+        assert collectors == ["KG-W", "KG-N"]
+
+    def test_unprofiled_sweep_reports_none(self):
+        runner = ExperimentRunner()
+        report = runner.sweep([_key()], max_workers=1)
+        assert report.ok
+        assert report.profiles == [None]
+
+
+class TestCheckpointRoundTrip:
+    def test_profile_survives_result_serialisation(self):
+        runner = ExperimentRunner(profile=True)
+        original = runner.run("fop", "KG-W")
+        clone = result_from_dict(result_to_dict(original))
+        assert clone.profile == original.profile
+
+    def test_unprofiled_record_loads_as_none(self):
+        runner = ExperimentRunner()
+        payload = result_to_dict(runner.run("fop", "KG-W"))
+        payload.pop("profile", None)  # a pre-profiler checkpoint line
+        assert result_from_dict(payload).profile is None
+
+    def test_resumed_sweep_replays_profiles(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        keys = [_key()]
+        first = ExperimentRunner(profile=True)
+        report = first.sweep(keys, max_workers=1, checkpoint=path)
+        assert report.profiles[0] is not None
+
+        resumed = ExperimentRunner(profile=True)
+        replayed = resumed.sweep(keys, max_workers=1, checkpoint=path,
+                                 resume=True)
+        assert resumed.executions == 0
+        assert replayed.profiles[0] == report.profiles[0]

@@ -108,3 +108,20 @@ class TestRunReport:
                                                         "value": 1}})
         assert report["metrics"]["a.b"]["value"] == 1
         json.dumps(report)  # must be JSON-serialisable as-is
+
+    def test_trace_dropped_surfaced_when_given(self):
+        assert "trace" not in run_report(_result())
+        report = run_report(_result(), trace_dropped=7)
+        assert report["trace"] == {"dropped": 7}
+        # Zero is still information: the span record is complete.
+        assert run_report(_result(), trace_dropped=0)["trace"] == \
+            {"dropped": 0}
+
+    def test_profile_attribution_rides_on_result(self):
+        assert "profile" not in run_report(_result())
+        profile = {"schema": "repro.profile/v1", "meta": {},
+                   "self": {"run": {"pcm.writes": 100}}, "spans": []}
+        report = run_report(_result(profile=profile))
+        assert report["profile"]["schema"] == "repro.profile/v1"
+        assert report["profile"]["attribution"]["run"]["pcm.writes"] == 100
+        json.dumps(report)

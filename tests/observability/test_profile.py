@@ -1,0 +1,292 @@
+"""Unit tests for the write-attribution profiler and its exporters.
+
+A fake snapshot callable stands in for the machine/kernel counters, so
+attribution arithmetic (exclusive intervals, the OUTSIDE bucket,
+conservation) is pinned without a platform run.  The end-to-end
+conservation test against real counters lives in
+``tests/core/test_attribution.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.observability.profile import (
+    OUTSIDE,
+    PROFILE_SCHEMA,
+    Profiler,
+    aggregate,
+    attributed_total,
+    attribution_table,
+    counter_names,
+    parse_folded,
+    to_chrome_trace,
+    to_folded,
+)
+from repro.observability.trace import Tracer
+from repro.sanitize.invariants import InvariantViolation, Sanitizer
+
+
+class FakeCounters:
+    """A mutable counter bank standing in for machine+kernel state."""
+
+    def __init__(self):
+        self.values = {"pcm.writes": 0, "dram.writes": 0}
+
+    def bump(self, name, amount):
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def snapshot(self):
+        return dict(self.values)
+
+
+@pytest.fixture
+def tracer():
+    ticks = iter(range(10000))
+    return Tracer(capacity=256, clock=lambda: float(next(ticks)))
+
+
+@pytest.fixture
+def counters():
+    return FakeCounters()
+
+
+def run_profiled(tracer, counters, body):
+    """Bracket ``body(counters)`` in a begin_run/end_run pair."""
+    profiler = Profiler(tracer=tracer)
+    profiler.begin_run(counters.snapshot)
+    body(counters)
+    return profiler, profiler.end_run(benchmark="fake")
+
+
+class TestAttribution:
+    def test_deltas_land_on_active_path(self, tracer, counters):
+        def body(bank):
+            run = tracer.push("run")
+            bank.bump("pcm.writes", 10)          # run's own interval
+            gc = tracer.push("gc.minor")
+            bank.bump("pcm.writes", 3)           # gc.minor's interval
+            tracer.pop(gc)
+            bank.bump("dram.writes", 5)          # back on run
+            tracer.pop(run)
+
+        _profiler, profile = run_profiled(tracer, counters, body)
+        assert profile["self"]["run"]["pcm.writes"] == 10
+        assert profile["self"]["run"]["dram.writes"] == 5
+        assert profile["self"]["run/gc.minor"]["pcm.writes"] == 3
+
+    def test_conservation_by_construction(self, tracer, counters):
+        def body(bank):
+            bank.bump("pcm.writes", 2)           # before any span
+            run = tracer.push("run")
+            for _ in range(3):
+                gc = tracer.push("gc.minor")
+                bank.bump("pcm.writes", 7)
+                tracer.pop(gc)
+            tracer.pop(run)
+            bank.bump("pcm.writes", 1)           # after the root pop
+
+        _profiler, profile = run_profiled(tracer, counters, body)
+        assert attributed_total(profile, "pcm.writes") == \
+            counters.values["pcm.writes"] == 24
+
+    def test_outside_bucket_collects_unspanned_movement(self, tracer,
+                                                        counters):
+        def body(bank):
+            bank.bump("pcm.writes", 4)
+            frame = tracer.push("run")
+            tracer.pop(frame)
+
+        _profiler, profile = run_profiled(tracer, counters, body)
+        assert profile["self"][OUTSIDE]["pcm.writes"] == 4
+
+    def test_counter_appearing_mid_run_is_attributed(self, tracer,
+                                                     counters):
+        def body(bank):
+            frame = tracer.push("run")
+            bank.bump("qpi.crossings", 9)        # not in the baseline
+            tracer.pop(frame)
+
+        _profiler, profile = run_profiled(tracer, counters, body)
+        assert profile["self"]["run"]["qpi.crossings"] == 9
+
+    def test_zero_deltas_are_omitted(self, tracer, counters):
+        def body(bank):
+            frame = tracer.push("run")
+            bank.bump("pcm.writes", 1)
+            tracer.pop(frame)
+
+        _profiler, profile = run_profiled(tracer, counters, body)
+        assert "dram.writes" not in profile["self"]["run"]
+        assert counter_names(profile) == ["pcm.writes"]
+
+    def test_artifact_shape_and_meta(self, tracer, counters):
+        tracer.enable()
+        _profiler, profile = run_profiled(
+            tracer, counters,
+            lambda bank: tracer.pop(tracer.push("run")))
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["meta"] == {"benchmark": "fake"}
+        assert [s["name"] for s in profile["spans"]] == ["run"]
+        assert json.loads(json.dumps(profile)) == profile
+
+
+class TestLifecycle:
+    def test_end_run_without_begin_raises(self, tracer):
+        with pytest.raises(RuntimeError):
+            Profiler(tracer=tracer).end_run()
+
+    def test_end_run_unhooks_boundary(self, tracer, counters):
+        profiler, _profile = run_profiled(tracer, counters, lambda bank: None)
+        assert tracer.boundary is None
+        assert profiler.active is False
+
+    def test_abort_run_unhooks_without_artifact(self, tracer, counters):
+        profiler = Profiler(tracer=tracer)
+        profiler.begin_run(counters.snapshot)
+        assert profiler.active
+        profiler.abort_run()
+        assert profiler.active is False
+        assert tracer.boundary is None
+
+    def test_enable_flag_is_independent_of_active(self, tracer):
+        profiler = Profiler(tracer=tracer)
+        profiler.enable()
+        assert profiler.enabled and not profiler.active
+        profiler.disable()
+        assert not profiler.enabled
+
+
+@pytest.fixture
+def profile(tracer, counters):
+    """A small but fully-featured artifact for exporter tests."""
+    tracer.enable()
+
+    def body(bank):
+        run = tracer.push("run", benchmark="fake")
+        bank.bump("pcm.writes", 10)
+        bank.bump("pcm.writes.tag.nursery", 6)
+        bank.bump("dram.writes.tag.nursery", 2)
+        bank.bump("socket1.mem.writes", 10)
+        gc = tracer.push("gc.minor")
+        bank.bump("pcm.writes", 3)
+        bank.bump("pcm.writes.tag.mature.pcm", 3)
+        bank.bump("socket1.llc.misses", 4)
+        tracer.pop(gc)
+        tracer.pop(run)
+
+    return run_profiled(tracer, counters, body)[1]
+
+
+class TestChromeExport:
+    def test_events_carry_required_keys(self, profile):
+        trace = to_chrome_trace(profile)
+        assert trace["traceEvents"]
+        for event in trace["traceEvents"]:
+            for key in ("ph", "ts", "dur", "pid", "tid", "name"):
+                assert key in event, f"{event['name']} missing {key}"
+            assert event["ph"] == "X"
+
+    def test_span_tree_survives_in_args(self, profile):
+        trace = to_chrome_trace(profile)
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        run_id = by_name["run"]["args"]["span_id"]
+        assert by_name["gc.minor"]["args"]["parent"] == run_id
+
+    def test_attribution_rides_along(self, profile):
+        trace = to_chrome_trace(profile)
+        summary = trace["traceEvents"][-1]
+        assert summary["name"] == "attribution"
+        assert summary["args"]["self"] == profile["self"]
+        assert trace["otherData"]["schema"] == PROFILE_SCHEMA
+
+    def test_serialises_to_json(self, profile):
+        json.loads(json.dumps(to_chrome_trace(profile), sort_keys=True))
+
+
+class TestFoldedExport:
+    def test_round_trip(self, profile):
+        folded = to_folded(profile, counter="pcm.writes")
+        stacks = parse_folded(folded)
+        assert stacks == {"run": 10, "run;gc.minor": 3}
+
+    def test_zero_paths_omitted(self, profile):
+        stacks = parse_folded(to_folded(profile, counter="dram.writes"))
+        assert "run;gc.minor" not in stacks
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_folded("no-count-here")
+        with pytest.raises(ValueError):
+            parse_folded("stack notanumber")
+
+    def test_parse_merges_duplicate_stacks(self):
+        assert parse_folded("a;b 1\na;b 2\n\n") == {"a;b": 3}
+
+
+class TestAggregation:
+    def test_by_phase_rows(self, profile):
+        rows = aggregate(profile, by="phase")
+        by_path = {row["path"]: row for row in rows}
+        assert by_path["run"]["pcm.writes"] == 10
+        assert by_path["run/gc.minor"]["pcm.writes"] == 3
+
+    def test_by_space_parses_tags(self, profile):
+        rows = aggregate(profile, by="space")
+        nursery = next(r for r in rows if r["tag"] == "nursery")
+        assert nursery == {"path": "run", "tag": "nursery",
+                           "pcm.writes": 6, "dram.writes": 2}
+        mature = next(r for r in rows if r["tag"] == "mature.pcm")
+        assert mature["path"] == "run/gc.minor"
+
+    def test_by_socket_groups_metrics(self, profile):
+        rows = aggregate(profile, by="socket")
+        run_row = next(r for r in rows if r["path"] == "run")
+        assert run_row["socket"] == "socket1"
+        assert run_row["mem.writes"] == 10
+
+    def test_unknown_view_raises(self, profile):
+        with pytest.raises(ValueError):
+            aggregate(profile, by="moon-phase")
+
+    def test_table_renders_all_views(self, profile):
+        for by in ("phase", "space", "socket"):
+            table = attribution_table(profile, by=by, title="t")
+            assert table.startswith("t")
+            assert "|" in table
+        assert "no attribution data" in attribution_table(
+            {"self": {}}, by="space")
+
+
+class TestConservationLaw:
+    def test_matching_sums_pass(self):
+        checker = Sanitizer()
+        checker.install(strict=True)
+        try:
+            checker.check_attribution({"pcm.writes": 24},
+                                      {"pcm.writes": 24})
+        finally:
+            checker.uninstall()
+        assert checker.violations == []
+
+    def test_mismatch_flags_attribution_conservation(self):
+        checker = Sanitizer()
+        checker.install(strict=False)
+        try:
+            checker.check_attribution({"pcm.writes": 23},
+                                      {"pcm.writes": 24, "dram.writes": 0},
+                                      site="test")
+        finally:
+            checker.uninstall()
+        (violation,) = checker.violations
+        assert violation.law == "attribution_conservation"
+        assert "pcm.writes" in violation.detail
+
+    def test_strict_mode_raises(self):
+        checker = Sanitizer()
+        checker.install(strict=True)
+        try:
+            with pytest.raises(InvariantViolation):
+                checker.check_attribution({}, {"pcm.writes": 1})
+        finally:
+            checker.uninstall()

@@ -1,0 +1,163 @@
+"""Hierarchical span stack: ids, parent links, unwinding, boundaries.
+
+The attribution profiler leans on three properties of the span stack:
+stable ids with correct parent links, exception-safe unwinding (a
+fault mid-phase must not orphan enclosing spans), and the boundary
+hook firing *before* every stack change with the path that was active
+for the interval just ending.  These tests pin all three.
+"""
+
+import pytest
+
+from repro.observability.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    ticks = iter(range(10000))
+    return Tracer(capacity=64, clock=lambda: float(next(ticks)))
+
+
+class TestZeroOverhead:
+    def test_push_returns_none_while_off(self, tracer):
+        assert tracer.push("run") is None
+        assert tracer.depth() == 0
+
+    def test_pop_none_is_noop(self, tracer):
+        tracer.pop(None)  # must not raise
+        assert len(tracer) == 0
+
+    def test_span_yields_none_while_off(self, tracer):
+        with tracer.span("run") as attrs:
+            assert attrs is None
+        assert len(tracer) == 0
+
+    def test_boundary_alone_activates_stack(self, tracer):
+        """Attribution without tracing: frames exist, no records."""
+        tracer.boundary = lambda path, ts: None
+        frame = tracer.push("run")
+        assert frame is not None
+        assert tracer.depth() == 1
+        tracer.pop(frame)
+        assert tracer.depth() == 0
+        assert len(tracer) == 0  # not enabled -> nothing recorded
+
+
+class TestHierarchy:
+    def test_parent_links_and_stable_ids(self, tracer):
+        tracer.enable()
+        outer = tracer.push("run")
+        inner = tracer.push("gc.minor")
+        tracer.pop(inner)
+        tracer.pop(outer)
+        by_name = {s["name"]: s for s in tracer.spans()}
+        assert by_name["run"]["id"] == outer[0]
+        assert by_name["gc.minor"]["parent"] == outer[0]
+        assert "parent" not in by_name["run"]
+        assert by_name["gc.minor"]["id"] != by_name["run"]["id"]
+
+    def test_current_path_joins_open_names(self, tracer):
+        tracer.enable()
+        assert tracer.current_path() == ""
+        run = tracer.push("run")
+        mutator = tracer.push("mutator")
+        assert tracer.current_path() == "run/mutator"
+        tracer.pop(mutator)
+        assert tracer.current_path() == "run"
+        tracer.pop(run)
+        assert tracer.current_path() == ""
+
+    def test_sibling_spans_share_parent(self, tracer):
+        tracer.enable()
+        run = tracer.push("run")
+        for name in ("gc.minor", "gc.minor", "monitor.sample"):
+            child = tracer.push(name)
+            tracer.pop(child)
+        tracer.pop(run)
+        children = [s for s in tracer.spans() if s["name"] != "run"]
+        assert all(s["parent"] == run[0] for s in children)
+        assert len({s["id"] for s in tracer.spans()}) == 4
+
+    def test_clear_resets_ids(self, tracer):
+        tracer.enable()
+        frame = tracer.push("run")
+        tracer.pop(frame)
+        tracer.clear()
+        fresh = tracer.push("run")
+        assert fresh[0] == 1
+
+    def test_pop_merges_attrs(self, tracer):
+        tracer.enable()
+        frame = tracer.push("gc.minor", collector="KG-W")
+        tracer.pop(frame, survivors=7)
+        (span,) = tracer.spans()
+        assert span["attrs"] == {"collector": "KG-W", "survivors": 7}
+        assert span["dur"] > 0
+
+
+class TestUnwinding:
+    def test_outer_pop_unwinds_abandoned_inner_frames(self, tracer):
+        """An exception that skips inner pops must not orphan spans."""
+        tracer.enable()
+        outer = tracer.push("run")
+        tracer.push("gc.minor")
+        tracer.push("gc.trace")
+        tracer.pop(outer)  # inner frames abandoned, e.g. by a raise
+        assert tracer.depth() == 0
+        # Only the popped frame records a span; the abandoned ones
+        # never closed so they have no duration to report.
+        assert [s["name"] for s in tracer.spans()] == ["run"]
+
+    def test_pop_is_idempotent(self, tracer):
+        tracer.enable()
+        frame = tracer.push("gc.minor")
+        tracer.pop(frame)
+        tracer.pop(frame)  # outer finally pops again after inner did
+        assert len(tracer.spans()) == 1
+
+    def test_exception_in_span_still_closes(self, tracer):
+        tracer.enable()
+        with pytest.raises(RuntimeError):
+            with tracer.span("gc.minor"):
+                raise RuntimeError("fault mid-phase")
+        assert tracer.depth() == 0
+        (span,) = tracer.spans()
+        assert span["dur"] > 0
+
+    def test_pop_after_clear_is_harmless(self, tracer):
+        tracer.enable()
+        frame = tracer.push("run")
+        tracer.clear()
+        tracer.pop(frame)  # frame belongs to a dead capture
+        assert tracer.depth() == 0
+
+
+class TestBoundaryHook:
+    def test_boundary_fires_with_ending_interval_path(self, tracer):
+        """push/pop report the path active *before* the stack changes."""
+        calls = []
+        tracer.boundary = lambda path, ts: calls.append(path)
+        run = tracer.push("run")
+        gc = tracer.push("gc.minor")
+        tracer.pop(gc)
+        tracer.pop(run)
+        assert calls == ["", "run", "run/gc.minor", "run"]
+
+    def test_boundary_intervals_telescope(self, tracer):
+        """Boundary timestamps partition the run into exclusive
+        intervals: consecutive deltas sum to the total elapsed time."""
+        crossings = []
+        tracer.boundary = lambda path, ts: crossings.append((path, ts))
+        run = tracer.push("run")
+        gc = tracer.push("gc.minor")
+        tracer.pop(gc)
+        tracer.pop(run)
+        stamps = [ts for _path, ts in crossings]
+        assert stamps == sorted(stamps)
+        deltas = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert sum(deltas) == stamps[-1] - stamps[0]
+
+    def test_boundary_unset_after_profiling(self, tracer):
+        tracer.boundary = lambda path, ts: None
+        tracer.boundary = None
+        assert tracer.push("run") is None  # back to zero-overhead

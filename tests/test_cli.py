@@ -80,6 +80,54 @@ class TestRunJson:
         assert TRACER.enabled is False
 
 
+class TestProfile:
+    def test_table_is_default_format(self, capsys):
+        assert main(["profile", "-b", "fop", "-c", "KG-W"]) == 0
+        out = capsys.readouterr().out
+        assert "Write attribution" in out
+        assert "path" in out and "pcm.writes" in out
+
+    def test_chrome_format_is_valid_trace_json(self, capsys):
+        assert main(["profile", "-b", "fop", "-c", "KG-W",
+                     "--format", "chrome"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["traceEvents"]
+        for event in trace["traceEvents"]:
+            for key in ("ph", "ts", "dur", "pid", "tid", "name"):
+                assert key in event
+
+    def test_folded_format_round_trips(self, capsys):
+        from repro.observability.profile import parse_folded
+
+        assert main(["profile", "-b", "fop", "-c", "KG-W",
+                     "--format", "folded", "--counter",
+                     "dram.writes"]) == 0
+        stacks = parse_folded(capsys.readouterr().out)
+        assert stacks and all(count > 0 for count in stacks.values())
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        assert main(["profile", "-b", "fop", "-c", "KG-W",
+                     "--format", "chrome", "--out", str(path)]) == 0
+        assert "wrote chrome profile" in capsys.readouterr().out
+        json.loads(path.read_text())
+
+    def test_profile_restores_observability_state(self, capsys):
+        from repro.observability.profile import PROFILER
+        from repro.observability.trace import TRACER
+
+        assert main(["profile", "-b", "fop", "-c", "KG-W"]) == 0
+        capsys.readouterr()
+        assert TRACER.enabled is False
+        assert PROFILER.enabled is False
+
+    def test_by_space_view(self, capsys):
+        assert main(["profile", "-b", "fop", "-c", "KG-W",
+                     "--by", "space"]) == 0
+        out = capsys.readouterr().out
+        assert "tag" in out
+
+
 class TestTrace:
     def test_trace_exports_parseable_spans(self, tmp_path, capsys):
         out = tmp_path / "t.jsonl"
