@@ -75,12 +75,13 @@ DEFAULT_COUNTERS: Dict[str, List[str]] = {
     "write_lines": ["MemoryNode"],
     "read_lines": ["MemoryNode"],
     "writes_by_tag": ["MemoryNode"],
-    # Cache accounting (CacheLevel owns its CacheStats).
-    "hits": ["CacheStats", "CacheLevel"],
-    "misses": ["CacheStats", "CacheLevel"],
-    "evictions": ["CacheStats", "CacheLevel"],
-    "dirty_evictions": ["CacheStats", "CacheLevel"],
-    "flushed_dirty": ["CacheLevel"],
+    # Cache accounting (CacheLevel owns its CacheStats; the columnar
+    # subclass keeps the same ownership over the matrix state).
+    "hits": ["CacheStats", "CacheLevel", "ColumnarCacheLevel"],
+    "misses": ["CacheStats", "CacheLevel", "ColumnarCacheLevel"],
+    "evictions": ["CacheStats", "CacheLevel", "ColumnarCacheLevel"],
+    "dirty_evictions": ["CacheStats", "CacheLevel", "ColumnarCacheLevel"],
+    "flushed_dirty": ["CacheLevel", "ColumnarCacheLevel"],
     # Machine-level traffic.
     "qpi_crossings": ["NumaMachine"],
     # Kernel syscall/fault counters.
@@ -106,6 +107,7 @@ DEFAULT_COUNTERS: Dict[str, List[str]] = {
 DEFAULT_COUNTER_MUTATORS: Tuple[str, ...] = (
     "repro.machine.numa::CorePath.access_line",
     "repro.machine.numa::CorePath.access_run",
+    "repro.machine.colengine::ColumnarCorePath.flush_pending",
 )
 
 #: Functions allowed to touch another object's private attributes —
@@ -129,6 +131,8 @@ DEFAULT_HOOK_SITES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
      ("faults", "sanitize", "trace")),
     ("repro.machine.numa", "NumaMachine.flush_all",
      ("faults", "sanitize", "trace")),
+    ("repro.machine.colengine", "ColumnarCorePath.flush_pending",
+     ("faults",)),
     ("repro.core.collectors.base", "Collector.minor_collect", ("trace",)),
     ("repro.core.collectors.base", "Collector.mark_and_sweep", ("trace",)),
     ("repro.core.monitor", "WriteRateMonitor.sample", ("faults", "trace")),

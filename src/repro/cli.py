@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro.config import DEFAULT_SCALE_CONFIG, RECOMMENDED_WRITE_RATE_MBS
 from repro.core.collectors import ALL_COLLECTOR_NAMES
 from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.machine.engine import engine_names
 from repro.observability import (
     METRICS,
     PROFILER,
@@ -49,6 +50,10 @@ def _add_measurement_args(parser: argparse.ArgumentParser) -> None:
                         choices=["default", "large"])
     parser.add_argument("--mode", default="emulation",
                         choices=["emulation", "simulation"])
+    parser.add_argument("--engine", default=None,
+                        choices=list(engine_names()),
+                        help="cache access engine (default: "
+                             "$REPRO_ENGINE or 'batched')")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -144,11 +149,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "and failures) instead of the table")
 
     sanitize = sub.add_parser(
-        "sanitize", help="differentially fuzz the batched access engine "
-                         "against the per-line oracle and run the "
-                         "invariant sanitizer; shrink any divergence")
+        "sanitize", help="differentially fuzz one access engine against "
+                         "a reference engine and run the invariant "
+                         "sanitizer; shrink any divergence")
     sanitize.add_argument("--seed", type=int, default=0,
                           help="base RNG seed (trial i uses seed+i)")
+    sanitize.add_argument("--engine", default="batched",
+                          help="engine under test: perline, batched, "
+                               "columnar, jit, or 'oracle' (alias for "
+                               "perline); default: batched")
+    sanitize.add_argument("--reference", default="perline",
+                          help="reference engine to diff against "
+                               "(default: perline)")
     sanitize.add_argument("--ops", type=int, default=20000,
                           help="operations per trace (default: 20000)")
     sanitize.add_argument("--trials", type=int, default=1,
@@ -226,7 +238,8 @@ def _measure(args: argparse.Namespace, track_wear: bool = False):
     """Run one configuration from parsed measurement options."""
     mode = (EmulationMode.EMULATION if args.mode == "emulation"
             else EmulationMode.SIMULATION)
-    platform = HybridMemoryPlatform(mode=mode, track_wear=track_wear)
+    platform = HybridMemoryPlatform(mode=mode, track_wear=track_wear,
+                                    engine=args.engine)
     factory = benchmark_factory(args.benchmark)
 
     def make_app(index: int):
@@ -418,8 +431,14 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
               f"{', '.join(PLANTED_BUGS)}", file=sys.stderr)
         return 2
 
-    fuzzer = DifferentialFuzzer(ops=args.ops, shrink=args.shrink,
-                                check_every=args.check_every)
+    try:
+        fuzzer = DifferentialFuzzer(ops=args.ops, shrink=args.shrink,
+                                    check_every=args.check_every,
+                                    engine=args.engine,
+                                    reference=args.reference)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     context = planted_bug(args.plant) if args.plant else nullcontext()
     with context:
         results = fuzzer.run(seed=args.seed, trials=args.trials)

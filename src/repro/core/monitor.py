@@ -80,6 +80,9 @@ class WriteRateMonitor:
             if stale and self.samples:
                 node_writes = list(self.samples[-1].node_writes)
             else:
+                # Deferred engines park write-backs in their queues;
+                # flush so the sampled counters are sync-point exact.
+                machine.sync_engines()
                 node_writes = [node.write_lines for node in machine.nodes]
             record = MonitorSample(round_index=round_index,
                                    node_writes=node_writes)

@@ -197,7 +197,8 @@ class HybridMemoryPlatform:
                  seeds: SimulationSeeds = DEFAULT_SEEDS,
                  monitor_interval_rounds: int = 8,
                  llc_size_override: int = 0,
-                 track_wear: bool = False) -> None:
+                 track_wear: bool = False,
+                 engine: Optional[str] = None) -> None:
         self.mode = mode
         self.scale = scale
         self.latency = latency
@@ -205,6 +206,8 @@ class HybridMemoryPlatform:
         self.monitor_interval_rounds = monitor_interval_rounds
         self.llc_size_override = llc_size_override
         self.track_wear = track_wear
+        #: Access-engine name (None honours $REPRO_ENGINE / default).
+        self.engine = engine
 
     def _machine_spec(self) -> MachineSpec:
         if self.mode is EmulationMode.EMULATION:
@@ -290,7 +293,7 @@ class HybridMemoryPlatform:
             raise ValueError("need at least one instance")
         host_start = time.perf_counter()
         emulating = self.mode is EmulationMode.EMULATION
-        machine = self._machine_spec().build()
+        machine = self._machine_spec().build(engine=self.engine)
         kernel = Kernel(machine)
         #: Exposed for tests that inject faults mid-run and then verify
         #: the platform released every frame and monitor process.

@@ -70,6 +70,10 @@ class Kernel:
                 f"unaligned mmap request: vaddr={vaddr:#x} length={length}")
         if not 0 <= node_id < len(self.machine.nodes):
             raise MBindError(f"no such NUMA node: {node_id}")
+        # Deferred-engine barrier: queued runs hold physical line
+        # addresses, so they must execute before the page table or the
+        # frame attribution changes underneath them.
+        self.machine.sync_engines()
         if FAULTS.active is not None:  # fault hook: frame exhaustion etc.
             FAULTS.arrive("kernel.mmap_bind", pid=process.pid, vaddr=vaddr,
                           node=node_id, tag=tag)
@@ -131,6 +135,9 @@ class Kernel:
         if vaddr % PAGE_SIZE or length % PAGE_SIZE or length <= 0:
             raise MBindError(
                 f"unaligned retag request: vaddr={vaddr:#x} length={length}")
+        # Queued write-backs must land under the tag they were issued
+        # against, not the one this call installs.
+        self.machine.sync_engines()
         first_page = vaddr >> PAGE_SHIFT
         for vpage in range(first_page, first_page + (length >> PAGE_SHIFT)):
             node_id, frame = process.page_table.entry(vpage)
@@ -148,6 +155,8 @@ class Kernel:
         if vaddr % PAGE_SIZE or length % PAGE_SIZE or length <= 0:
             raise MBindError(
                 f"unaligned munmap request: vaddr={vaddr:#x} length={length}")
+        # Deferred-engine barrier: see mmap_bind.
+        self.machine.sync_engines()
         if FAULTS.active is not None:  # fault hook: mirrors mmap_bind
             FAULTS.arrive("kernel.munmap", pid=process.pid, vaddr=vaddr,
                           length=length)
@@ -168,6 +177,8 @@ class Kernel:
 
     def reclaim_process(self, process: Process) -> None:
         """Tear down a process: free all frames, drop it from the table."""
+        # Deferred-engine barrier: see mmap_bind.
+        self.machine.sync_engines()
         if FAULTS.active is not None:  # fault hook: die mid-teardown
             FAULTS.arrive("kernel.reclaim", pid=process.pid)
         reclaimed = 0

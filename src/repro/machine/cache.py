@@ -14,7 +14,10 @@ through the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.colengine import ColumnarCorePath
 
 
 @dataclass
@@ -51,6 +54,43 @@ class CacheStats:
         }
 
 
+def validate_geometry(size: int, assoc: int, line_size: int,
+                      name: str) -> int:
+    """Validate a cache geometry; returns the number of sets.
+
+    Shared by the per-line-object and columnar cache constructors, so a
+    zero-way or zero-set configuration fails the same way everywhere
+    (one used to fall into a ``% 0`` or allocate a cache that could
+    never hold a line) instead of surfacing later as a counter bug.
+    """
+    if size <= 0:
+        raise ValueError(f"{name}: cache size must be positive, got {size}")
+    if assoc <= 0:
+        raise ValueError(
+            f"{name}: associativity (ways per set) must be positive, "
+            f"got {assoc}")
+    if line_size <= 0:
+        raise ValueError(
+            f"{name}: line_size must be positive, got {line_size}")
+    if size % line_size:
+        raise ValueError(
+            f"{name}: cache size {size} must be a multiple of "
+            f"line_size {line_size}")
+    lines = size // line_size
+    if lines == 0:
+        raise ValueError(
+            f"{name}: cache of {size} B holds zero {line_size} B lines")
+    if lines % assoc:
+        raise ValueError(
+            f"{name}: {lines} lines not divisible by assoc {assoc}")
+    num_sets = lines // assoc
+    if num_sets == 0:
+        raise ValueError(
+            f"{name}: geometry yields zero sets ({lines} lines, "
+            f"{assoc}-way)")
+    return num_sets
+
+
 class CacheLevel:
     """One level of a write-back, write-allocate cache.
 
@@ -68,25 +108,23 @@ class CacheLevel:
 
     def __init__(self, size: int, assoc: int, line_size: int = 64,
                  name: str = "cache") -> None:
-        if size <= 0 or assoc <= 0 or line_size <= 0:
-            raise ValueError("cache size, assoc, line_size must be positive")
-        lines = size // line_size
-        if lines == 0 or size % line_size:
-            raise ValueError("cache size must be a multiple of line_size")
-        if lines % assoc:
-            raise ValueError(
-                f"{name}: {lines} lines not divisible by assoc {assoc}")
+        num_sets = validate_geometry(size, assoc, line_size, name)
         self.name = name
         self.size = size
         self.assoc = assoc
         self.line_size = line_size
-        self.num_sets = lines // assoc
+        self.num_sets = num_sets
         self.stats = CacheStats()
         #: Dirty lines written back by :meth:`flush` (kept apart from
         #: ``stats.dirty_evictions`` so the sanitizer's write-conservation
         #: law can account for every line that reached memory: node
         #: writes == dirty evictions + flush write-backs).
         self.flushed_dirty = 0
+        #: Core path with queued deferred runs targeting this level.
+        #: Always ``None`` for the per-line engines; the columnar engine
+        #: uses it as its shared-LLC serialisation token, and
+        #: ``NumaMachine.sync_engines`` flushes through it.
+        self.pending_path: Optional["ColumnarCorePath"] = None
         # One ordered dict per set: tag -> dirty flag.
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
 
@@ -209,6 +247,14 @@ class CacheLevel:
         for set_index, cache_set in enumerate(self._sets):
             lines.extend(tag * self.num_sets + set_index for tag in cache_set)
         return lines
+
+    def set_occupancy(self) -> List[int]:
+        """Valid-line count per set (the sanitizer's overflow law).
+
+        Engine-neutral: the columnar cache exposes the same method, so
+        invariant checks never reach into a representation directly.
+        """
+        return [len(cache_set) for cache_set in self._sets]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CacheLevel({self.name}, {self.size}B, "

@@ -1,0 +1,47 @@
+"""Optional Numba-compiled batch kernel (``REPRO_ENGINE=jit``).
+
+Numba is deliberately *not* a dependency of this repo: following the
+NBEP-7 idiom for optional accelerated backends, the import is probed
+lazily and every entry point degrades gracefully when it is absent —
+``numba_available()`` answers ``False`` and :func:`load_jit_kernel`
+returns ``None``, at which point the engine registry falls back to the
+columnar engine's other kernels (compiled C, then interpreted Python).
+
+When numba *is* installed, the kernel is simply
+:func:`repro.machine.pykernel.run_batch` passed through ``numba.njit``:
+one source of truth, so the jit backend cannot drift from the
+reference semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.nativekernel import KernelFn
+from repro.machine.pykernel import run_batch
+
+#: Memoised probe/compile result: unset, or (kernel-or-None).
+_LOADED: list = []
+
+
+def numba_available() -> bool:
+    """True when ``import numba`` succeeds (probed once per process)."""
+    return load_jit_kernel() is not None
+
+
+def load_jit_kernel() -> Optional[KernelFn]:
+    """The njit-compiled batch kernel, or ``None`` without numba."""
+    if _LOADED:
+        return _LOADED[0]
+    kernel: Optional[KernelFn] = None
+    try:
+        import numba  # noqa: PLC0415 - optional accelerator probe
+    except ImportError:
+        kernel = None
+    else:
+        try:
+            kernel = numba.njit(cache=False, nogil=True)(run_batch)
+        except Exception:  # pragma: no cover - numba-internal failures
+            kernel = None
+    _LOADED.append(kernel)
+    return kernel

@@ -1,0 +1,266 @@
+"""Reference batch kernel for the columnar engine (pure Python).
+
+``run_batch`` executes a queue of access runs against the columnar
+cache state — flat ``tags`` / ``dirty`` / ``age`` arrays — with exactly
+the per-line algorithm of :meth:`CorePath.access_line`: private probe,
+dirty-victim write-back into the LLC, demand LLC access, memory-write
+propagation.  Counters come out bit-identical to the per-line engine
+because this *is* the per-line engine, re-expressed over arrays.
+
+The function is written in the intersection of plain Python and
+``numba.njit``-compilable Python (scalar loops, flat int64/uint8 numpy
+arrays, no Python objects), so the same source serves three backends:
+
+* interpreted, as the always-available correctness fallback and the
+  differential reference for the compiled kernels;
+* ``numba.njit``-compiled (:mod:`repro.machine.jitkernel`), behind the
+  ``REPRO_ENGINE=jit`` flag;
+* a line-for-line C translation (:mod:`repro.machine.nativekernel`),
+  the default compiled backend for ``REPRO_ENGINE=columnar``.
+
+Array contract (all int64 unless noted):
+
+``scal``
+    ``[n_runs, p_sets, p_ways, l_sets, l_ways, l2_hit, llc_hit,
+    p_clock, l_clock, has_private]``.  The clocks are the cache levels'
+    monotonic LRU counters; strictly increasing ages make every LRU
+    choice unique, so there is no tie-breaking to get wrong.
+``runs``
+    ``n_runs x 6`` row-major: ``[first_line, count, is_write,
+    mem_latency, node, remote]``.  A run never crosses a page, so it
+    has one home node (the batched page-table walk guarantees this).
+``pt/pd/pa`` and ``lt/ld/la``
+    Private and LLC tag (int64, ``-1`` = invalid way), dirty (uint8),
+    and age matrices, flattened row-major ``[set * ways + way]``.
+``victims``
+    Out: line addresses written back to memory, in eviction order.
+    Callers size it at two entries per accessed line (the worst case:
+    one LLC install victim plus one demand victim).
+``out``
+    Out (length 32): ``[p_hits, p_misses, p_evictions,
+    p_dirty_evictions, l_hits, l_misses, l_evictions,
+    l_dirty_evictions, cycles, n_victims, p_clock', l_clock',
+    qpi_crossings, 0, 0, 0, reads_node0 .. reads_node15]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# out[] slot indices, mirrored by the C kernel.
+OUT_P_HITS = 0
+OUT_P_MISSES = 1
+OUT_P_EVICTIONS = 2
+OUT_P_DIRTY = 3
+OUT_L_HITS = 4
+OUT_L_MISSES = 5
+OUT_L_EVICTIONS = 6
+OUT_L_DIRTY = 7
+OUT_CYCLES = 8
+OUT_N_VICTIMS = 9
+OUT_P_CLOCK = 10
+OUT_L_CLOCK = 11
+OUT_QPI = 12
+OUT_READS_BASE = 16
+OUT_SIZE = 32
+#: Node ids the kernels can attribute reads to (out[] slots 16..31).
+MAX_NODES = OUT_SIZE - OUT_READS_BASE
+
+
+def run_batch(scal: np.ndarray, runs: np.ndarray,
+              pt: np.ndarray, pd: np.ndarray, pa: np.ndarray,
+              lt: np.ndarray, ld: np.ndarray, la: np.ndarray,
+              victims: np.ndarray, out: np.ndarray) -> None:  # noqa: C901
+    """Execute a batch of access runs; see the module docstring."""
+    n_runs = scal[0]
+    p_sets = scal[1]
+    p_ways = scal[2]
+    l_sets = scal[3]
+    l_ways = scal[4]
+    l2_hit = scal[5]
+    llc_hit = scal[6]
+    p_clock = scal[7]
+    l_clock = scal[8]
+    has_private = scal[9]
+    n_victims = 0
+    cycles = 0
+    for r in range(n_runs):
+        base = runs[r * 6 + 0]
+        count = runs[r * 6 + 1]
+        is_write = runs[r * 6 + 2]
+        mem_latency = runs[r * 6 + 3]
+        node = runs[r * 6 + 4]
+        remote = runs[r * 6 + 5]
+        if has_private != 0:
+            p_si = base % p_sets
+            p_tag = base // p_sets
+            for i in range(count):
+                line = base + i
+                p_row = p_si * p_ways
+                hit_w = -1
+                free_w = -1
+                for w in range(p_ways):
+                    t = pt[p_row + w]
+                    if t == p_tag:
+                        hit_w = w
+                        break
+                    if free_w < 0 and t == -1:
+                        free_w = w
+                if hit_w >= 0:
+                    if is_write != 0:
+                        pd[p_row + hit_w] = 1
+                    pa[p_row + hit_w] = p_clock
+                    p_clock += 1
+                    out[OUT_P_HITS] += 1
+                    cycles += l2_hit
+                else:
+                    out[OUT_P_MISSES] += 1
+                    if free_w < 0:
+                        # LRU victim: the way with the oldest age.
+                        free_w = 0
+                        best = pa[p_row]
+                        for w in range(1, p_ways):
+                            if pa[p_row + w] < best:
+                                best = pa[p_row + w]
+                                free_w = w
+                        out[OUT_P_EVICTIONS] += 1
+                        if pd[p_row + free_w] != 0:
+                            out[OUT_P_DIRTY] += 1
+                            # Write-back into the LLC (install_dirty):
+                            # re-ages on hit, may displace a dirty LLC
+                            # line all the way to memory.
+                            victim = pt[p_row + free_w] * p_sets + p_si
+                            wb_si = victim % l_sets
+                            wb_tag = victim // l_sets
+                            wb_row = wb_si * l_ways
+                            wb_hit = -1
+                            wb_free = -1
+                            for w in range(l_ways):
+                                t = lt[wb_row + w]
+                                if t == wb_tag:
+                                    wb_hit = w
+                                    break
+                                if wb_free < 0 and t == -1:
+                                    wb_free = w
+                            if wb_hit < 0:
+                                if wb_free < 0:
+                                    wb_free = 0
+                                    best = la[wb_row]
+                                    for w in range(1, l_ways):
+                                        if la[wb_row + w] < best:
+                                            best = la[wb_row + w]
+                                            wb_free = w
+                                    out[OUT_L_EVICTIONS] += 1
+                                    if ld[wb_row + wb_free] != 0:
+                                        out[OUT_L_DIRTY] += 1
+                                        victims[n_victims] = (
+                                            lt[wb_row + wb_free] * l_sets
+                                            + wb_si)
+                                        n_victims += 1
+                                wb_hit = wb_free
+                                lt[wb_row + wb_hit] = wb_tag
+                            ld[wb_row + wb_hit] = 1
+                            la[wb_row + wb_hit] = l_clock
+                            l_clock += 1
+                    pt[p_row + free_w] = p_tag
+                    pd[p_row + free_w] = 1 if is_write != 0 else 0
+                    pa[p_row + free_w] = p_clock
+                    p_clock += 1
+                    # Demand fill from the LLC — always clean: LLC
+                    # dirty bits come solely from install_dirty.
+                    l_si = line % l_sets
+                    l_tag = line // l_sets
+                    l_row = l_si * l_ways
+                    l_hit = -1
+                    l_free = -1
+                    for w in range(l_ways):
+                        t = lt[l_row + w]
+                        if t == l_tag:
+                            l_hit = w
+                            break
+                        if l_free < 0 and t == -1:
+                            l_free = w
+                    if l_hit >= 0:
+                        # Demand hit keeps the existing dirty bit.
+                        la[l_row + l_hit] = l_clock
+                        l_clock += 1
+                        out[OUT_L_HITS] += 1
+                        cycles += llc_hit
+                    else:
+                        out[OUT_L_MISSES] += 1
+                        if l_free < 0:
+                            l_free = 0
+                            best = la[l_row]
+                            for w in range(1, l_ways):
+                                if la[l_row + w] < best:
+                                    best = la[l_row + w]
+                                    l_free = w
+                            out[OUT_L_EVICTIONS] += 1
+                            if ld[l_row + l_free] != 0:
+                                out[OUT_L_DIRTY] += 1
+                                victims[n_victims] = (
+                                    lt[l_row + l_free] * l_sets + l_si)
+                                n_victims += 1
+                        lt[l_row + l_free] = l_tag
+                        ld[l_row + l_free] = 0
+                        la[l_row + l_free] = l_clock
+                        l_clock += 1
+                        out[OUT_READS_BASE + node] += 1
+                        if remote != 0:
+                            out[OUT_QPI] += 1
+                        cycles += mem_latency
+                p_si += 1
+                if p_si == p_sets:
+                    p_si = 0
+                    p_tag += 1
+        else:
+            # No private level: demand runs hit the LLC directly and
+            # writes dirty it (CacheLevel.access_run semantics).
+            for i in range(count):
+                line = base + i
+                l_si = line % l_sets
+                l_tag = line // l_sets
+                l_row = l_si * l_ways
+                l_hit = -1
+                l_free = -1
+                for w in range(l_ways):
+                    t = lt[l_row + w]
+                    if t == l_tag:
+                        l_hit = w
+                        break
+                    if l_free < 0 and t == -1:
+                        l_free = w
+                if l_hit >= 0:
+                    if is_write != 0:
+                        ld[l_row + l_hit] = 1
+                    la[l_row + l_hit] = l_clock
+                    l_clock += 1
+                    out[OUT_L_HITS] += 1
+                    cycles += llc_hit
+                else:
+                    out[OUT_L_MISSES] += 1
+                    if l_free < 0:
+                        l_free = 0
+                        best = la[l_row]
+                        for w in range(1, l_ways):
+                            if la[l_row + w] < best:
+                                best = la[l_row + w]
+                                l_free = w
+                        out[OUT_L_EVICTIONS] += 1
+                        if ld[l_row + l_free] != 0:
+                            out[OUT_L_DIRTY] += 1
+                            victims[n_victims] = (
+                                lt[l_row + l_free] * l_sets + l_si)
+                            n_victims += 1
+                    lt[l_row + l_free] = l_tag
+                    ld[l_row + l_free] = 1 if is_write != 0 else 0
+                    la[l_row + l_free] = l_clock
+                    l_clock += 1
+                    out[OUT_READS_BASE + node] += 1
+                    if remote != 0:
+                        out[OUT_QPI] += 1
+                    cycles += mem_latency
+    out[OUT_CYCLES] += cycles
+    out[OUT_N_VICTIMS] = n_victims
+    out[OUT_P_CLOCK] = p_clock
+    out[OUT_L_CLOCK] = l_clock

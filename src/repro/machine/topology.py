@@ -17,6 +17,7 @@ All capacities go through :class:`repro.config.ScaleConfig`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional, Union
 
 from repro.config import (
     DEFAULT_LATENCY,
@@ -25,7 +26,7 @@ from repro.config import (
     LatencyModel,
     ScaleConfig,
 )
-from repro.machine.cache import CacheLevel
+from repro.machine.engine import Engine, resolve_engine
 from repro.machine.memory import MemoryNode
 from repro.machine.numa import NumaMachine, Socket
 
@@ -49,22 +50,32 @@ class MachineSpec:
     node_capacity: int
     latency: LatencyModel = DEFAULT_LATENCY
 
-    def build(self) -> NumaMachine:
-        """Instantiate the machine described by this spec."""
+    def build(self, engine: Optional[Union[str, Engine]] = None) -> NumaMachine:
+        """Instantiate the machine described by this spec.
+
+        ``engine`` selects the access engine (name or resolved
+        :class:`Engine`); ``None`` honours ``$REPRO_ENGINE`` and falls
+        back to the default.  The engine decides the cache
+        representation and the per-context access path; counters are
+        bit-identical across all of them.
+        """
+        resolved = engine if isinstance(engine, Engine) \
+            else resolve_engine(engine)
         kinds = {DRAM_NODE: "DRAM", PCM_NODE: "PCM"}
         built = []
         for socket_id in range(self.sockets):
-            llc = CacheLevel(self.llc_size, self.llc_assoc, LINE_SIZE,
-                             name=f"LLC{socket_id}")
+            llc = resolved.make_cache(self.llc_size, self.llc_assoc,
+                                      LINE_SIZE, name=f"LLC{socket_id}")
             memory = MemoryNode(socket_id, self.node_capacity,
                                 kinds.get(socket_id, "DRAM"))
             built.append(Socket(socket_id, llc, memory,
                                 cores=self.cores_per_socket,
                                 hyperthreads=self.hyperthreads))
         machine = NumaMachine(built, self.latency)
+        machine.engine = resolved
         if self.l2_size:
             l2_size, l2_assoc = self.l2_size, self.l2_assoc
-            machine.private_cache_factory = lambda: CacheLevel(
+            machine.private_cache_factory = lambda: resolved.make_cache(
                 l2_size, l2_assoc, LINE_SIZE, name="L2")
         return machine
 

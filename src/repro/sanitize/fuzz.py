@@ -41,6 +41,7 @@ from repro.config import PAGE_SIZE
 from repro.faults.plan import FAULTS, FaultPlan
 from repro.kernel.process import SimThread
 from repro.kernel.vm import Kernel
+from repro.machine.engine import engine_names
 from repro.machine.topology import emulation_platform_spec
 from repro.sanitize.invariants import Sanitizer, Violation
 
@@ -211,19 +212,23 @@ def _gen_hostile(rng: random.Random, mapped: Dict[int, int]) -> TraceOp:
 class TraceReplayer:
     """Replays a trace on a fresh twin machine through one engine.
 
-    ``engine`` selects how access operations are issued: ``"batched"``
-    goes through :meth:`SimThread.access` (the TLB fast path plus
-    ``access_block``), ``"oracle"`` through
-    :meth:`SimThread.access_per_line`.  Everything else (kernel calls,
-    drains, flushes) is engine-independent and must leave identical
-    state.
+    ``engine`` is any registry engine name (see
+    :func:`repro.machine.engine.engine_names`): the machine is built
+    with that engine and accesses are issued through the plain
+    ``thread.access`` entry point, so each engine's real thread class
+    (batched, per-line oracle, columnar, jit) handles them exactly as
+    production code would.  ``"oracle"`` is accepted as an alias for
+    ``"perline"``.  Everything else (kernel calls, drains, flushes) is
+    engine-independent and must leave identical state.
     """
 
     def __init__(self, engine: str) -> None:
-        if engine not in ("batched", "oracle"):
+        if engine == "oracle":
+            engine = "perline"
+        if engine not in engine_names():
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
-        self.machine = emulation_platform_spec().build()
+        self.machine = emulation_platform_spec().build(engine=engine)
         self.kernel = Kernel(self.machine)
         self.process = self.kernel.create_process()
         base_bytes = BASE_PAGES * PAGE_SIZE
@@ -239,11 +244,7 @@ class TraceReplayer:
     def apply(self, op: TraceOp) -> None:
         """Execute one operation (exceptions propagate to the caller)."""
         if op.kind == "access":
-            thread = self.threads[op.thread]
-            if self.engine == "batched":
-                thread.access(op.vaddr, op.size, op.is_write)
-            else:
-                thread.access_per_line(op.vaddr, op.size, op.is_write)
+            self.threads[op.thread].access(op.vaddr, op.size, op.is_write)
         elif op.kind == "mmap":
             self.kernel.mmap_bind(self.process, op.vaddr,
                                   op.pages * PAGE_SIZE, node_id=op.node)
@@ -292,7 +293,8 @@ def replay(trace: List[TraceOp], engine: str,
            fault_plan: Optional[FaultPlan] = None,
            check_every: int = 0
            ) -> Tuple[Dict[str, object], List[Violation]]:
-    """Replay ``trace`` through ``engine`` on a fresh machine.
+    """Replay ``trace`` through registry engine ``engine`` on a fresh
+    machine.
 
     Per-op exceptions are recorded (index, type, message) rather than
     propagated — both engines must fail the same way, so failures are
@@ -331,11 +333,11 @@ def replay(trace: List[TraceOp], engine: str,
     return replayer.snapshot(), sanitizer.violations
 
 
-def diff_snapshots(batched: Dict[str, object],
-                   oracle: Dict[str, object]) -> List[str]:
+def diff_snapshots(candidate: Dict[str, object],
+                   reference: Dict[str, object]) -> List[str]:
     """Names of counters that differ between the two engines."""
-    keys = set(batched) | set(oracle)
-    return sorted(k for k in keys if batched.get(k) != oracle.get(k))
+    keys = set(candidate) | set(reference)
+    return sorted(k for k in keys if candidate.get(k) != reference.get(k))
 
 
 # ----------------------------------------------------------------------
@@ -395,31 +397,34 @@ def shrink_trace(trace: List[TraceOp],
 
 @dataclass
 class DivergenceReport:
-    """A confirmed batched-vs-oracle counter divergence."""
+    """A confirmed candidate-vs-reference counter divergence."""
 
     seed: int
     trace_ops: int
     keys: List[str]
     shrunk: List[TraceOp]
     predicate_evals: int
-    batched: Dict[str, object]
-    oracle: Dict[str, object]
+    candidate: Dict[str, object]
+    reference: Dict[str, object]
+    engines: Tuple[str, str] = ("batched", "perline")
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "seed": self.seed,
             "trace_ops": self.trace_ops,
+            "engines": list(self.engines),
             "keys": self.keys,
             "shrunk": [op.to_dict() for op in self.shrunk],
             "predicate_evals": self.predicate_evals,
-            "diff": {key: {"batched": repr(self.batched.get(key)),
-                           "oracle": repr(self.oracle.get(key))}
+            "diff": {key: {self.engines[0]: repr(self.candidate.get(key)),
+                           self.engines[1]: repr(self.reference.get(key))}
                      for key in self.keys},
         }
 
     def describe(self) -> str:
         lines = [f"divergence at seed {self.seed} "
-                 f"({self.trace_ops} ops), {len(self.keys)} counter(s) "
+                 f"({self.engines[0]} vs {self.engines[1]}, "
+                 f"{self.trace_ops} ops), {len(self.keys)} counter(s) "
                  f"differ: {', '.join(self.keys[:6])}"
                  + ("..." if len(self.keys) > 6 else ""),
                  f"shrunk to {len(self.shrunk)} op(s) "
@@ -475,7 +480,9 @@ class DifferentialFuzzer:
     def __init__(self, ops: int = 2000,
                  fault_plan: Optional[FaultPlan] = None,
                  shrink: bool = True, check_every: int = 64,
-                 max_shrink_evals: int = 250) -> None:
+                 max_shrink_evals: int = 250,
+                 engine: str = "batched",
+                 reference: str = "perline") -> None:
         if ops <= 0:
             raise ValueError("ops must be positive")
         self.ops = ops
@@ -483,23 +490,28 @@ class DifferentialFuzzer:
         self.shrink = shrink
         self.check_every = check_every
         self.max_shrink_evals = max_shrink_evals
+        self.engine = "perline" if engine == "oracle" else engine
+        self.reference = "perline" if reference == "oracle" else reference
+        for name in (self.engine, self.reference):
+            if name not in engine_names():
+                raise ValueError(f"unknown engine {name!r}")
 
     def run_trial(self, seed: int) -> FuzzResult:
         trace = generate_trace(seed, self.ops)
-        batched, violations_b = replay(trace, "batched", self.fault_plan,
-                                       self.check_every)
-        oracle, violations_o = replay(trace, "oracle", self.fault_plan,
-                                      self.check_every)
+        candidate, violations_c = replay(trace, self.engine,
+                                         self.fault_plan, self.check_every)
+        reference, violations_r = replay(trace, self.reference,
+                                         self.fault_plan, self.check_every)
         result = FuzzResult(seed=seed, ops=self.ops,
-                            violations=violations_b + violations_o)
-        keys = diff_snapshots(batched, oracle)
+                            violations=violations_c + violations_r)
+        keys = diff_snapshots(candidate, reference)
         if not keys:
             return result
 
-        def still_fails(candidate: List[TraceOp]) -> bool:
-            snap_b, _ = replay(candidate, "batched", self.fault_plan)
-            snap_o, _ = replay(candidate, "oracle", self.fault_plan)
-            return bool(diff_snapshots(snap_b, snap_o))
+        def still_fails(shorter: List[TraceOp]) -> bool:
+            snap_c, _ = replay(shorter, self.engine, self.fault_plan)
+            snap_r, _ = replay(shorter, self.reference, self.fault_plan)
+            return bool(diff_snapshots(snap_c, snap_r))
 
         if self.shrink:
             shrunk, evals = shrink_trace(trace, still_fails,
@@ -508,7 +520,8 @@ class DifferentialFuzzer:
             shrunk, evals = trace, 0
         result.divergence = DivergenceReport(
             seed=seed, trace_ops=self.ops, keys=keys, shrunk=shrunk,
-            predicate_evals=evals, batched=batched, oracle=oracle)
+            predicate_evals=evals, candidate=candidate,
+            reference=reference, engines=(self.engine, self.reference))
         return result
 
     def run(self, seed: int = 0, trials: int = 1) -> List[FuzzResult]:
@@ -551,22 +564,38 @@ def planted_bug(name: str):
         write-conservation law can catch it.
     """
     if name == "short-block":
+        from repro.kernel.process import ColumnarSimThread
         original_block = SimThread.access_block
+        original_col = ColumnarSimThread.access
 
-        def buggy_block(self, vaddr: int, size: int, is_write: bool) -> int:
-            last_line_start = ((vaddr + size - 1) >> 6) << 6
-            if last_line_start > vaddr:
-                size = last_line_start - vaddr  # drop the trailing line
-            return original_block(self, vaddr, size, is_write)
+        def make_buggy(original):
+            def buggy_block(self, vaddr: int, size: int,
+                            is_write: bool) -> int:
+                last_line_start = ((vaddr + size - 1) >> 6) << 6
+                if last_line_start > vaddr:
+                    size = last_line_start - vaddr  # drop the trailing line
+                return original(self, vaddr, size, is_write)
+            return buggy_block
 
-        SimThread.access_block = buggy_block  # type: ignore[method-assign]
+        SimThread.access_block = make_buggy(  # type: ignore[method-assign]
+            original_block)
+        # The columnar thread's merged access handles multi-line blocks
+        # itself (access_block is an alias), so both entry points get
+        # the same wrapped body.
+        ColumnarSimThread.access = make_buggy(  # type: ignore[method-assign]
+            original_col)
+        ColumnarSimThread.access_block = (  # type: ignore[method-assign]
+            ColumnarSimThread.access)
         try:
             yield
         finally:
             SimThread.access_block = original_block  # type: ignore[method-assign]
+            ColumnarSimThread.access = original_col  # type: ignore[method-assign]
+            ColumnarSimThread.access_block = original_col  # type: ignore[method-assign]
     elif name == "lost-writeback":
         from repro.machine.numa import NumaMachine
         original_write = NumaMachine.memory_write
+        original_bulk = NumaMachine.memory_write_bulk
 
         def buggy_write(self, line: int) -> None:
             count = getattr(self, "_lost_writeback_count", 0) + 1
@@ -575,11 +604,21 @@ def planted_bug(name: str):
                 return  # the write never reaches the node counters
             original_write(self, line)
 
+        def buggy_bulk(self, lines) -> None:
+            # Route the batch through the per-line path so the same
+            # 1-in-5 drops happen regardless of engine: the drop
+            # counter is per machine and victims arrive in eviction
+            # order either way.
+            for line in lines.tolist():
+                buggy_write(self, line)
+
         NumaMachine.memory_write = buggy_write  # type: ignore[method-assign]
+        NumaMachine.memory_write_bulk = buggy_bulk  # type: ignore[method-assign]
         try:
             yield
         finally:
             NumaMachine.memory_write = original_write  # type: ignore[method-assign]
+            NumaMachine.memory_write_bulk = original_bulk  # type: ignore[method-assign]
     else:
         raise ValueError(
             f"unknown planted bug {name!r}; choose from {PLANTED_BUGS}")

@@ -180,6 +180,9 @@ class Sanitizer:
     # ------------------------------------------------------------------
     def check_machine(self, machine, site: str = "machine") -> None:
         """Write/read conservation plus cache accounting sanity."""
+        # Deferred engines park accesses in queues; the laws below only
+        # hold over counters that reflect every issued access.
+        machine.sync_engines()
         self.checks_run += 1
         base = self._baseline(machine)
         writes = sum(n.write_lines for n in machine.nodes) \
@@ -211,11 +214,11 @@ class Sanitizer:
                        f"{cache.name}: dirty evictions "
                        f"({stats.dirty_evictions}) exceed evictions "
                        f"({stats.evictions})", cache=cache.name)
-        for index, cache_set in enumerate(cache._sets):
-            if len(cache_set) > cache.assoc:
+        for index, occupancy in enumerate(cache.set_occupancy()):
+            if occupancy > cache.assoc:
                 self._flag("cache_accounting", site,
                            f"{cache.name}: set {index} holds "
-                           f"{len(cache_set)} lines, associativity is "
+                           f"{occupancy} lines, associativity is "
                            f"{cache.assoc}", cache=cache.name)
 
     # ------------------------------------------------------------------

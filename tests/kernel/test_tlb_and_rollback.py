@@ -4,6 +4,11 @@ The per-thread TLB caches one vpage -> line-base translation keyed by
 the page table's epoch; it must never serve a stale translation after
 ``munmap``.  ``mmap_bind`` must be all-or-nothing: a mid-range frame
 exhaustion may not leave a half-populated page table or leaked frames.
+
+Every test runs once per access engine: the deferred columnar queue
+holds *physical* line addresses, so ``munmap``/``mmap_bind``/reclaim
+are exactly where a missing engine sync would re-home queued traffic
+or serve a stale translation.
 """
 
 import pytest
@@ -21,10 +26,10 @@ from repro.machine.topology import (
 BASE = 0x80000
 
 
-@pytest.fixture
-def kernel():
-    machine = emulation_platform_spec(DEFAULT_SCALE_CONFIG,
-                                      DEFAULT_LATENCY).build()
+@pytest.fixture(params=("perline", "batched", "columnar"))
+def kernel(request):
+    machine = emulation_platform_spec(
+        DEFAULT_SCALE_CONFIG, DEFAULT_LATENCY).build(engine=request.param)
     return Kernel(machine)
 
 

@@ -6,6 +6,12 @@ times).  These tests pin that down through the machine's write-listener
 hook: every resident dirty line reaches memory exactly once at flush,
 reads produce no write-backs at all, and draining private caches before
 a full flush changes nothing.
+
+Every test runs once per access engine (the per-line oracle, the
+batched fused loops, and the columnar batch kernels): the invariants
+are properties of the architecture, not of any one implementation, and
+the deferred engines are exactly where a queued run could slip past a
+flush boundary.
 """
 
 import pytest
@@ -21,10 +27,17 @@ from repro.machine.topology import (
 
 BASE = 0x40000
 
+ENGINES = ("perline", "batched", "columnar")
 
-def _thread(pages=4, node=DRAM_NODE):
-    machine = emulation_platform_spec(DEFAULT_SCALE_CONFIG,
-                                      DEFAULT_LATENCY).build()
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
+
+def _thread(pages=4, node=DRAM_NODE, engine=None):
+    machine = emulation_platform_spec(
+        DEFAULT_SCALE_CONFIG, DEFAULT_LATENCY).build(engine=engine)
     kernel = Kernel(machine)
     process = kernel.create_process(affinity_socket=0)
     kernel.mmap_bind(process, BASE, pages * PAGE_SIZE, node_id=node)
@@ -42,8 +55,8 @@ def _count_writebacks(machine):
 
 
 class TestFlushExactlyOnce:
-    def test_each_resident_dirty_line_flushes_exactly_once(self):
-        machine, thread = _thread()
+    def test_each_resident_dirty_line_flushes_exactly_once(self, engine):
+        machine, thread = _thread(engine=engine)
         # 32 dirty lines: fits the 64-line private cache, no evictions.
         for index in range(32):
             thread.access(BASE + index * 64, 64, True)
@@ -53,8 +66,8 @@ class TestFlushExactlyOnce:
         assert set(counts.values()) == {1}
         assert machine.nodes[DRAM_NODE].write_lines == 32
 
-    def test_clean_lines_never_write_back(self):
-        machine, thread = _thread()
+    def test_clean_lines_never_write_back(self, engine):
+        machine, thread = _thread(engine=engine)
         for index in range(16):
             thread.access(BASE + index * 64, 64, True)
         for index in range(16, 48):  # reads only
@@ -64,8 +77,8 @@ class TestFlushExactlyOnce:
         assert len(counts) == 16
         assert set(counts.values()) == {1}
 
-    def test_drain_then_flush_does_not_double_count(self):
-        machine, thread = _thread()
+    def test_drain_then_flush_does_not_double_count(self, engine):
+        machine, thread = _thread(engine=engine)
         for index in range(32):
             thread.access(BASE + index * 64, 64, True)
         counts = _count_writebacks(machine)
@@ -75,8 +88,8 @@ class TestFlushExactlyOnce:
         assert len(counts) == 32
         assert set(counts.values()) == {1}
 
-    def test_second_flush_is_a_no_op(self):
-        machine, thread = _thread()
+    def test_second_flush_is_a_no_op(self, engine):
+        machine, thread = _thread(engine=engine)
         for index in range(32):
             thread.access(BASE + index * 64, 64, True)
         machine.flush_all([thread.core_path])
@@ -84,8 +97,8 @@ class TestFlushExactlyOnce:
         machine.flush_all([thread.core_path])
         assert counts == {}
 
-    def test_rewritten_line_still_flushes_once(self):
-        machine, thread = _thread()
+    def test_rewritten_line_still_flushes_once(self, engine):
+        machine, thread = _thread(engine=engine)
         for _ in range(5):
             for index in range(32):
                 thread.access(BASE + index * 64, 64, True)
@@ -95,20 +108,23 @@ class TestFlushExactlyOnce:
         assert len(counts) == 32
 
 
-class TestBatchedFaultParity:
-    """A block that faults mid-way matches the per-line engine state."""
+class TestMidBlockFaultParity:
+    """A block that faults mid-way matches the per-line engine state.
 
-    def _partial_block(self, engine_name):
-        machine, thread = _thread(pages=1, node=PCM_NODE)
-        engine = getattr(thread, engine_name)
+    The deferred engines must preserve the already-queued runs of the
+    faulting block across the exception (the per-line path has already
+    touched the caches with them) and discard only the faulting run.
+    """
+
+    def _partial_block(self, engine):
+        machine, thread = _thread(pages=1, node=PCM_NODE, engine=engine)
         # Block spans the mapped page and the unmapped one after it.
         with pytest.raises(PageFault):
-            engine(BASE + PAGE_SIZE - 256, 512, True)
+            thread.access(BASE + PAGE_SIZE - 256, 512, True)
         machine.flush_all([thread.core_path])
         node = machine.nodes[PCM_NODE]
         return (node.read_lines, node.write_lines, thread.cycles,
                 thread.process.kernel.page_faults)
 
-    def test_mid_block_fault_state_matches_per_line(self):
-        assert (self._partial_block("access_block")
-                == self._partial_block("access_per_line"))
+    def test_mid_block_fault_state_matches_per_line(self, engine):
+        assert self._partial_block(engine) == self._partial_block("perline")
