@@ -56,6 +56,7 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "repro.workloads": 45,
     "repro.harness": 50,
     "repro.experiments": 60,
+    "repro.serve": 65,
 }
 
 #: Cross-cutting packages: importable from anywhere except hot packages.
@@ -138,6 +139,11 @@ DEFAULT_HOOK_SITES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
     ("repro.core.monitor", "WriteRateMonitor.sample", ("faults", "trace")),
     ("repro.core.platform", "HybridMemoryPlatform.run",
      ("sanitize", "trace")),
+    # Service layer: the three places a fault can lose or corrupt an
+    # accepted job — admission, dispatch, result persistence.
+    ("repro.serve.app", "ServeApp.admit", ("faults", "trace")),
+    ("repro.serve.app", "ServeApp.dispatch", ("faults", "trace")),
+    ("repro.serve.jobstore", "JobStore.store_result", ("faults",)),
 )
 
 

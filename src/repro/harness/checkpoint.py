@@ -18,20 +18,85 @@ Record layout (one JSON object per line)::
      "metrics": {<MetricsRegistry.as_dict() snapshot>}}
 
 Unreadable lines (a record cut short by the kill) are skipped on load:
-the worst case is re-running the interrupted key.
+the worst case is re-running the interrupted key.  A *torn trailing*
+record — the file does not end in a newline because the writer died
+between ``write`` and ``fsync`` — is salvaged explicitly: every
+complete record before it loads normally, the torn tail is reported
+(tracer event + ``checkpoint.torn_tail`` metric + a narrated warning),
+and the next :meth:`SweepCheckpoint.append` truncates the tail first so
+a fresh record can never fuse with the partial line and poison both.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.platform import EmulationMode, MeasurementResult
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
+from repro.observability.trace import TRACER
 from repro.runtime.jvm import RuntimeStats
 
 #: Bump when the record layout changes incompatibly.
 CHECKPOINT_SCHEMA = "repro.sweep_checkpoint/v1"
+
+
+def salvage_jsonl(path: str, label: str = "checkpoint"
+                  ) -> Tuple[List[str], bool]:
+    """Read a JSONL file, salvaging around a torn trailing record.
+
+    Returns ``(complete_lines, torn_tail)``: every newline-terminated
+    line (undecoded), and whether the file ended mid-record.  A torn
+    tail is the signature of a crash between ``write`` and ``fsync``;
+    it is counted (``<label>.torn_tail``), traced, and warned about —
+    but never fatal, because every record is self-contained.
+    """
+    if not os.path.exists(path):
+        return [], False
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    torn = bool(raw) and not raw.endswith(b"\n")
+    if torn:
+        cut = raw.rfind(b"\n") + 1
+        tail_bytes = len(raw) - cut
+        raw = raw[:cut]
+        METRICS.inc(f"{label}.torn_tail")
+        if TRACER.enabled:
+            TRACER.event(f"{label}.torn_tail", path=path,
+                         bytes=tail_bytes)
+        get_logger().warning(
+            "%s %s: torn trailing record (%d bytes) salvaged around; "
+            "the interrupted entry will be redone", label, path,
+            tail_bytes)
+    return raw.decode("utf-8", errors="replace").splitlines(), torn
+
+
+def repair_jsonl_tail(path: str, label: str = "checkpoint") -> bool:
+    """Truncate a torn trailing record so appends cannot fuse with it.
+
+    Without this, the next append would land on the same line as the
+    partial record and JSON-poison *both* — the torn tail and the brand
+    new record.  Returns True when a repair happened.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return False
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return False
+            handle.seek(0)
+            raw = handle.read()
+            handle.truncate(raw.rfind(b"\n") + 1)
+    except FileNotFoundError:
+        return False
+    METRICS.inc(f"{label}.tail_repaired")
+    if TRACER.enabled:
+        TRACER.event(f"{label}.tail_repaired", path=path)
+    return True
 
 
 def result_to_dict(result: MeasurementResult) -> Dict:
@@ -108,6 +173,11 @@ class SweepCheckpoint:
         self.path = path
         #: Records appended by this process (not counting loaded ones).
         self.appended = 0
+        #: Set by :meth:`load`: the file ended in a torn (crash-cut)
+        #: record that was salvaged around.
+        self.torn_tail = False
+        #: Set by :meth:`load`: complete lines that failed to parse.
+        self.skipped = 0
 
     # ------------------------------------------------------------------
     # Writing
@@ -134,13 +204,19 @@ class SweepCheckpoint:
 
     def append(self, key, result: MeasurementResult,
                metrics: Optional[Dict] = None) -> None:
-        """Persist one completed run (flushed so a kill cannot lose it)."""
+        """Persist one completed run (flushed so a kill cannot lose it).
+
+        A torn trailing record left by an earlier crash is truncated
+        first — otherwise this record would share its line and both
+        would be lost on the next load.
+        """
         record = {
             "schema": CHECKPOINT_SCHEMA,
             "key": self._key_to_dict(key),
             "result": result_to_dict(result),
             "metrics": metrics or {},
         }
+        repair_jsonl_tail(self.path)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
@@ -153,25 +229,33 @@ class SweepCheckpoint:
     def load(self) -> Dict:
         """``{RunKey: (MeasurementResult, metrics_snapshot)}`` on disk.
 
-        Missing file -> empty dict.  Truncated or malformed lines are
-        skipped (the run they described is simply re-executed); later
-        records for the same key win, matching append order.
+        Missing file -> empty dict.  A torn trailing record (crash
+        mid-write) is salvaged around — every complete record loads,
+        the tear is warned about via the tracer, and :attr:`torn_tail`
+        is set.  Malformed complete lines are skipped and counted in
+        :attr:`skipped` (the run they described is simply re-executed);
+        later records for the same key win, matching append order.
         """
         restored: Dict = {}
-        if not os.path.exists(self.path):
-            return restored
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+        self.torn_tail = False
+        self.skipped = 0
+        lines, self.torn_tail = salvage_jsonl(self.path)
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("schema") != CHECKPOINT_SCHEMA:
                     continue
-                try:
-                    record = json.loads(line)
-                    if record.get("schema") != CHECKPOINT_SCHEMA:
-                        continue
-                    key = self._key_from_dict(record["key"])
-                    result = result_from_dict(record["result"])
-                except (ValueError, KeyError, TypeError):
-                    continue  # torn write: re-run that key
-                restored[key] = (result, record.get("metrics", {}))
+                key = self._key_from_dict(record["key"])
+                result = result_from_dict(record["result"])
+            except (ValueError, KeyError, TypeError):
+                self.skipped += 1
+                METRICS.inc("checkpoint.skipped_records")
+                if TRACER.enabled:
+                    TRACER.event("checkpoint.skipped_record",
+                                 path=self.path)
+                continue  # unreadable record: re-run that key
+            restored[key] = (result, record.get("metrics", {}))
         return restored

@@ -39,6 +39,8 @@ enabled).
 
 from __future__ import annotations
 
+import hashlib
+import signal
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -69,31 +71,64 @@ class RunKey:
     scale: int = DEFAULT_SCALE_CONFIG.scale
 
 
+def _jitter_fraction(seed: int, salt: str, attempt: int) -> float:
+    """Deterministic [0, 1) jitter draw: same seed/salt/attempt, same
+    value, on every interpreter and platform (SHA-256, not ``hash``)."""
+    text = f"{seed}|{salt}|{attempt}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded, deterministic retry schedule for sweep runs.
 
     ``base_delay * backoff ** (n - 1)`` seconds pass before retry
-    ``n + 1``; there is deliberately no jitter — runs are local and
-    reproducibility beats herd avoidance here.  ``serial_fallback``
-    grants a key whose pool attempts were all lost to infrastructure
-    failures (crashes, hangs) one final in-process attempt.
+    ``n + 1``.  By default there is no jitter — sweep runs are local
+    and reproducibility beats herd avoidance.  Service-level callers
+    (``repro serve``) set ``jitter`` so many clients retrying against a
+    freshly rebuilt pool do not arrive in lockstep: each delay is
+    stretched by up to ``jitter`` (a fraction of itself), drawn
+    *deterministically* from ``(jitter_seed, salt, attempt)`` via
+    SHA-256 — the schedule is still bit-reproducible given the seed,
+    but distinct salts (run keys, job ids) spread out.
+
+    ``serial_fallback`` grants a key whose pool attempts were all lost
+    to infrastructure failures (crashes, hangs) one final in-process
+    attempt.
     """
 
     max_attempts: int = 3
     base_delay: float = 0.0
     backoff: float = 2.0
     serial_fallback: bool = True
+    #: Maximum extra delay as a fraction of the base schedule
+    #: (``0.0`` = the historical jitter-free behaviour).
+    jitter: float = 0.0
+    #: Seed for the deterministic jitter draw.
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if self.base_delay < 0:
             raise ValueError("base_delay cannot be negative")
+        if self.jitter < 0:
+            raise ValueError("jitter cannot be negative")
 
-    def delay(self, failed_attempts: int) -> float:
-        """Backoff before the next try after ``failed_attempts`` failures."""
-        return self.base_delay * self.backoff ** max(0, failed_attempts - 1)
+    def delay(self, failed_attempts: int, salt: str = "") -> float:
+        """Backoff before the next try after ``failed_attempts`` failures.
+
+        ``salt`` distinguishes concurrent retriers (a run key, a job
+        id) so jittered schedules decorrelate; it is ignored while
+        ``jitter`` is 0, which keeps existing sweep callers byte-for-
+        byte on the old schedule.
+        """
+        delay = self.base_delay * self.backoff ** max(0, failed_attempts - 1)
+        if self.jitter and delay > 0:
+            delay *= 1.0 + self.jitter * _jitter_fraction(
+                self.jitter_seed, salt, failed_attempts)
+        return delay
 
 
 @dataclass
@@ -174,6 +209,25 @@ class _Exec:
     snapshot: Optional[Dict] = None
     failure: Optional[FailureRecord] = None
     attempts: int = 1
+
+
+def _worker_init() -> None:
+    """Reset inherited signal state in a fresh pool worker.
+
+    Under the default fork start method a worker inherits the parent's
+    signal dispositions — including an asyncio loop's wakeup fd, which
+    is a socketpair *shared* with the parent.  If the executor later
+    SIGTERMs this worker (e.g. while tearing down a broken pool), the
+    inherited C-level trampoline would write the signal number into
+    that shared socket and the parent's loop would read it as a SIGTERM
+    delivered to *itself* — ``repro serve`` would start draining
+    because a chaos-killed sibling took the pool down.  Clearing the
+    wakeup fd and restoring default dispositions keeps a worker's death
+    a worker-local event.
+    """
+    signal.set_wakeup_fd(-1)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, signal.SIG_DFL)
 
 
 def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int, bool]
@@ -326,6 +380,13 @@ class ExperimentRunner:
                 self.profile)
 
     @staticmethod
+    def _retry_salt(key: RunKey) -> str:
+        """Stable per-key salt so jittered retries decorrelate."""
+        return (f"{key.benchmark}/{key.collector}/{key.instances}/"
+                f"{key.dataset}/{key.mode.value}/{key.llc_size}/"
+                f"{key.scale}")
+
+    @staticmethod
     def _note_retry(key: RunKey, attempt: int, exc: BaseException) -> None:
         METRICS.inc("runner.retries")
         if TRACER.enabled:
@@ -347,7 +408,7 @@ class ExperimentRunner:
         for attempt in range(1, retry.max_attempts + 1):
             if attempt > 1:
                 self._note_retry(key, attempt, last_exc)
-                delay = retry.delay(attempt - 1)
+                delay = retry.delay(attempt - 1, salt=self._retry_salt(key))
                 if delay:
                     time.sleep(delay)
             try:
@@ -375,7 +436,8 @@ class ExperimentRunner:
         import concurrent.futures as cf
         from concurrent.futures.process import BrokenProcessPool
 
-        pool = cf.ProcessPoolExecutor(max_workers=max_workers)
+        pool = cf.ProcessPoolExecutor(max_workers=max_workers,
+                                      initializer=_worker_init)
         attempts = {key: 0 for key in fresh}
         futures: Dict[RunKey, object] = {}
         done: Dict[RunKey, _Exec] = {}
@@ -403,7 +465,8 @@ class ExperimentRunner:
                         proc.kill()
                     except (OSError, AttributeError):
                         pass
-            pool = cf.ProcessPoolExecutor(max_workers=max_workers)
+            pool = cf.ProcessPoolExecutor(max_workers=max_workers,
+                                          initializer=_worker_init)
             for key in fresh:
                 if key not in done:
                     submit(key)
@@ -414,7 +477,8 @@ class ExperimentRunner:
             be rebuilt (key retried there or siblings resubmitted)."""
             if attempts[key] < retry.max_attempts:
                 self._note_retry(key, attempts[key] + 1, exc)
-                delay = retry.delay(attempts[key])
+                delay = retry.delay(attempts[key],
+                                    salt=self._retry_salt(key))
                 if delay:
                     time.sleep(delay)
                 if not pool_level:
@@ -593,6 +657,31 @@ class ExperimentRunner:
             self.cache_hits += hits
             METRICS.inc("runner.cache.hits", hits)
         return SweepReport(outcomes=outcomes)
+
+    async def submit_async(self, keys: List[RunKey],
+                           max_workers: Optional[int] = None,
+                           retry: Optional[RetryPolicy] = None,
+                           timeout: Optional[float] = None,
+                           checkpoint: Optional[str] = None,
+                           resume: bool = False) -> SweepReport:
+        """Awaitable :meth:`sweep` — the seam ``repro.serve`` runs on.
+
+        The sweep executes on the event loop's default thread-pool
+        executor so the service can keep admitting and answering HTTP
+        requests while a job grinds through the process pool.  One
+        sweep at a time per runner: the memoisation cache and the
+        global metrics registry are not synchronised, so the service
+        dispatches jobs sequentially (each on a fresh runner) and
+        derives per-job metrics from the checkpoint's isolated
+        snapshots rather than the global registry.
+        """
+        import asyncio
+        from functools import partial
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, partial(
+            self.sweep, list(keys), max_workers=max_workers, retry=retry,
+            timeout=timeout, checkpoint=checkpoint, resume=resume))
 
     def run_many(self, keys: List[RunKey],
                  max_workers: Optional[int] = None,

@@ -1,0 +1,43 @@
+"""``repro.serve`` — the sweep harness promoted to a long-running
+service.
+
+An asyncio HTTP/JSON front end (stdlib only) over
+:class:`repro.harness.experiment.ExperimentRunner`: bounded admission
+with honest 429 backpressure, per-job deadlines over per-run timeouts,
+a circuit breaker around the worker pool, content-addressed result
+memoization, journal-based crash recovery, and graceful drain.  See
+DESIGN.md "Service layer" for the state machines and ISSUE/ROADMAP for
+why the paper's experiment matrix wants to be a service at all.
+"""
+
+from repro.serve.app import Job, ServeApp, ServeConfig
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobstore import JobStore
+from repro.serve.queue import AdmissionQueue
+from repro.serve.wire import (
+    JobSpec,
+    SpecError,
+    build_result_payload,
+    canonical_metrics,
+    canonical_result,
+    expand_keys,
+    parse_spec,
+    spec_digest,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "Job",
+    "JobSpec",
+    "JobStore",
+    "ServeApp",
+    "ServeConfig",
+    "SpecError",
+    "build_result_payload",
+    "canonical_metrics",
+    "canonical_result",
+    "expand_keys",
+    "parse_spec",
+    "spec_digest",
+]

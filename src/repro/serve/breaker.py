@@ -1,0 +1,113 @@
+"""Circuit breaker guarding the worker pool.
+
+State machine (see DESIGN.md "Service layer")::
+
+            failures < threshold
+           +------------------+
+           v                  |
+        CLOSED --- failure x threshold ---> OPEN
+           ^                                 |
+           |                          cooldown elapses
+      probe succeeds                         |
+           |                                 v
+           +------------- HALF_OPEN <--------+
+                              |
+                        probe fails --> OPEN (cooldown restarts)
+
+CLOSED passes every job.  ``threshold`` consecutive *infrastructure*
+failures — pool collapse, not experiment-level failures — trip it OPEN:
+dispatch stops for ``cooldown`` seconds so a struggling pool is not
+hammered by retries while it is down.  After the cooldown one probe job
+is allowed through (HALF_OPEN); its outcome decides between recovery
+(CLOSED) and another full cooldown (OPEN).
+
+The breaker's clock is injectable so tests drive the cooldown without
+sleeping.  State changes are published on the ``serve.breaker_state``
+gauge (0 = closed, 1 = open, 2 = half-open) and as tracer events.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.observability.metrics import METRICS
+from repro.observability.trace import TRACER
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of breaker states.
+_STATE_GAUGE = {CLOSED: 0.0, OPEN: 1.0, HALF_OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Trip on repeated pool collapse; half-open with probe runs."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        METRICS.set("serve.breaker_state", _STATE_GAUGE[CLOSED])
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        previous, self.state = self.state, state
+        METRICS.set("serve.breaker_state", _STATE_GAUGE[state])
+        if TRACER.enabled:
+            TRACER.event("serve.breaker", previous=previous, state=state)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a job be dispatched right now?
+
+        OPEN answers False until the cooldown elapses, then flips to
+        HALF_OPEN and admits exactly one probe (subsequent calls answer
+        False until the probe reports back).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self._transition(HALF_OPEN)
+                return True
+            return False
+        # HALF_OPEN: the single probe is already in flight.
+        return False
+
+    def retry_in(self) -> float:
+        """Seconds until the next dispatch attempt can be allowed."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """A dispatched job finished without infrastructure failure."""
+        self.consecutive_failures = 0
+        self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A dispatched job died of infrastructure failure.
+
+        In HALF_OPEN this is the probe failing: re-open immediately.
+        In CLOSED, trip only after ``threshold`` consecutive failures —
+        a single pool hiccup (which the sweep's own retries usually
+        absorb) should not halt the service.
+        """
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN \
+                or self.consecutive_failures >= self.threshold:
+            self._opened_at = self._clock()
+            self._transition(OPEN)

@@ -1,0 +1,107 @@
+"""Bounded admission queue with honest backpressure.
+
+The service accepts at most ``limit`` queued jobs.  Beyond that it
+answers HTTP 429 with a ``Retry-After`` estimated from observed job
+durations — an exponentially weighted moving average — times the queue
+depth ahead of the would-be arrival.  Overload is therefore *visible*
+(clients are told when to come back) instead of silent (unbounded
+memory growth, then collapse), which is the difference between a
+service that degrades and one that falls over.
+
+The queue itself is a plain deque guarded by the asyncio event loop's
+single-threaded execution — all callers run on the loop — so no lock
+is needed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.observability.metrics import METRICS
+
+#: EWMA smoothing for observed job durations (weight of the newest
+#: sample).  High enough to adapt within a few jobs, low enough not to
+#: let one outlier dominate the Retry-After hint.
+_EWMA_ALPHA = 0.3
+
+#: Retry-After clamp (seconds).  Never tell a client "0" (retry storm)
+#: or more than ten minutes (a hint, not a contract).
+_RETRY_MIN = 1
+_RETRY_MAX = 600
+
+
+class AdmissionQueue:
+    """FIFO job queue with a hard capacity and a Retry-After oracle."""
+
+    def __init__(self, limit: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.limit = limit
+        self._clock = clock
+        self._items: deque = deque()
+        #: EWMA of completed-job durations, None until the first sample.
+        self._ewma_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def has_room(self) -> bool:
+        return len(self._items) < self.limit
+
+    def offer(self, job, force: bool = False) -> bool:
+        """Enqueue ``job``; False when full (unless ``force``).
+
+        ``force`` exists for crash recovery: jobs the service already
+        accepted (journalled) before a restart must re-queue even if
+        that transiently exceeds the admission limit — rejecting them
+        would un-accept accepted work.
+        """
+        if not force and not self.has_room():
+            return False
+        self._items.append(job)
+        METRICS.set("serve.queue_depth", float(len(self._items)))
+        return True
+
+    def pop(self):
+        """Dequeue the oldest job, or None when empty."""
+        if not self._items:
+            return None
+        job = self._items.popleft()
+        METRICS.set("serve.queue_depth", float(len(self._items)))
+        return job
+
+    def requeue_front(self, job) -> None:
+        """Put a job back at the head (dispatch aborted, e.g. drain)."""
+        self._items.appendleft(job)
+        METRICS.set("serve.queue_depth", float(len(self._items)))
+
+    # ------------------------------------------------------------------
+    def note_duration(self, seconds: float) -> None:
+        """Feed one completed-job duration into the Retry-After EWMA."""
+        if seconds < 0:
+            return
+        if self._ewma_seconds is None:
+            self._ewma_seconds = seconds
+        else:
+            self._ewma_seconds = (_EWMA_ALPHA * seconds
+                                  + (1.0 - _EWMA_ALPHA)
+                                  * self._ewma_seconds)
+
+    def retry_after(self) -> int:
+        """Whole seconds a rejected client should wait before retrying.
+
+        Estimate: (queue depth + the in-flight job) x average job
+        duration, clamped to [1, 600].  With no duration samples yet,
+        fall back to the minimum — better to invite an early retry than
+        to stall clients on a guess.
+        """
+        if self._ewma_seconds is None:
+            return _RETRY_MIN
+        estimate = (len(self._items) + 1) * self._ewma_seconds
+        return max(_RETRY_MIN, min(_RETRY_MAX, math.ceil(estimate)))

@@ -1,0 +1,65 @@
+"""Reference execution for the chaos acceptance check.
+
+The service's robustness claim is falsifiable: the payload a job
+produces under 20 % injected faults, retries, pool rebuilds, and
+kill-and-restart must be **bit-identical** to the payload an unfaulted,
+serial, single-process sweep of the same spec produces.  This module
+computes that reference — the same spec expansion, the same checkpoint
+-> snapshot -> merge pipeline, the same canonicalisation — with all the
+service machinery stripped away, so the comparison isolates exactly the
+property under test.
+
+Used by ``tests/serve`` and the CI ``serve-chaos`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.harness.checkpoint import SweepCheckpoint
+from repro.harness.experiment import ExperimentRunner
+from repro.serve.wire import (
+    JobSpec,
+    build_result_payload,
+    expand_keys,
+    spec_digest,
+)
+
+
+def reference_payload(spec: JobSpec,
+                      runner: Optional[ExperimentRunner] = None) -> Dict:
+    """The canonical result payload for ``spec``, computed serially.
+
+    A fresh runner (unless one is injected — tests pass their stub),
+    ``max_workers=1`` so every run executes in-process with no pool,
+    no faults, no retries pressure, and a throwaway checkpoint that
+    exists only to capture the per-run metric snapshots the payload
+    merges.
+    """
+    runner = runner or ExperimentRunner()
+    keys = expand_keys(spec)
+    handle, path = tempfile.mkstemp(suffix=".jsonl",
+                                    prefix="repro-serve-ref-")
+    os.close(handle)
+    try:
+        report = runner.sweep(keys, max_workers=1, checkpoint=path)
+        snapshots = SweepCheckpoint(path).load()
+        return build_result_payload(spec, spec_digest(spec), report,
+                                    snapshots)
+    finally:
+        os.remove(path)
+
+
+def payloads_identical(left: Dict, right: Dict) -> bool:
+    """Bit-identity on the deterministic sections of two payloads.
+
+    ``results`` and ``metrics`` are already canonicalised (host timing
+    stripped), so plain equality is the right comparison.  The job
+    bookkeeping around them (attempt counts, service metadata) is
+    *expected* to differ under faults and is not compared.
+    """
+    return (left["digest"] == right["digest"]
+            and left["results"] == right["results"]
+            and left["metrics"] == right["metrics"])

@@ -1,6 +1,7 @@
 """The sweep checkpoint store: round-trips, torn writes, schema guard."""
 
 import json
+import os
 
 import pytest
 
@@ -8,8 +9,10 @@ from repro.core.platform import EmulationMode, MeasurementResult
 from repro.harness.checkpoint import (
     CHECKPOINT_SCHEMA,
     SweepCheckpoint,
+    repair_jsonl_tail,
     result_from_dict,
     result_to_dict,
+    salvage_jsonl,
 )
 from repro.harness.experiment import RunKey
 from repro.runtime.jvm import RuntimeStats
@@ -98,3 +101,82 @@ class TestCheckpointStore:
         store.append(_key(), _result())
         store.truncate()
         assert SweepCheckpoint(path).load() == {}
+
+
+class TestTornTailSalvage:
+    """Crash mid-fsync leaves a record cut short; resume must salvage."""
+
+    @staticmethod
+    def _tear(path, bytes_cut=10):
+        """Chop the file mid-way through its final record, the way a
+        SIGKILL between write and fsync does."""
+        size = os.path.getsize(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(size - bytes_cut)
+
+    def test_hand_truncated_file_salvages_complete_records(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key("fop"), _result("fop"))
+        store.append(_key("lusearch"), _result("lusearch"))
+        self._tear(path)
+        loader = SweepCheckpoint(path)
+        restored = loader.load()
+        assert list(restored) == [_key("fop")]
+        assert loader.torn_tail is True
+        assert loader.skipped == 0
+
+    def test_clean_file_reports_no_tear(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key(), _result())
+        loader = SweepCheckpoint(path)
+        loader.load()
+        assert loader.torn_tail is False
+
+    def test_append_after_tear_cannot_fuse_records(self, tmp_path):
+        # The poisoning scenario this PR fixes: without tail repair the
+        # next append lands on the torn line and JSON-breaks *both*.
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key("fop"), _result("fop"))
+        store.append(_key("lusearch"), _result("lusearch"))
+        self._tear(path)
+        store.append(_key("pmd"), _result("pmd"))
+        loader = SweepCheckpoint(path)
+        restored = loader.load()
+        assert sorted(k.benchmark for k in restored) == ["fop", "pmd"]
+        assert loader.skipped == 0
+
+    def test_salvage_jsonl_reports_torn_flag(self, tmp_path):
+        path = str(tmp_path / "raw.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"a": 1}\n{"b": 2')
+        lines, torn = salvage_jsonl(path)
+        assert lines == ['{"a": 1}']
+        assert torn is True
+
+    def test_repair_jsonl_tail_truncates_partial_line(self, tmp_path):
+        path = str(tmp_path / "raw.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"a": 1}\n{"b": 2')
+        assert repair_jsonl_tail(path) is True
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == '{"a": 1}\n'
+        assert repair_jsonl_tail(path) is False  # already clean
+
+    def test_repair_missing_file_is_noop(self, tmp_path):
+        assert repair_jsonl_tail(str(tmp_path / "absent.jsonl")) is False
+
+    def test_malformed_complete_line_counts_as_skipped(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path)
+        store.append(_key(), _result())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "' + CHECKPOINT_SCHEMA
+                         + '", "key": "not-a-dict"}\n')
+        loader = SweepCheckpoint(path)
+        restored = loader.load()
+        assert list(restored) == [_key()]
+        assert loader.skipped == 1
+        assert loader.torn_tail is False

@@ -62,6 +62,40 @@ class TestRetryPolicy:
     def test_default_has_no_delay(self):
         assert RetryPolicy().delay(1) == 0.0
 
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_default_jitter_keeps_old_schedule(self):
+        # Existing sweep callers must stay byte-identical: jitter=0
+        # ignores the salt entirely.
+        plain = RetryPolicy(max_attempts=4, base_delay=0.5, backoff=2.0)
+        assert [plain.delay(n, salt="anything") for n in (1, 2, 3)] \
+            == [0.5, 1.0, 2.0]
+
+    def test_jitter_is_deterministic_given_seed_salt_attempt(self):
+        policy = RetryPolicy(base_delay=0.5, jitter=0.5, jitter_seed=7)
+        again = RetryPolicy(base_delay=0.5, jitter=0.5, jitter_seed=7)
+        assert policy.delay(1, salt="job-a") == again.delay(1, salt="job-a")
+        assert policy.delay(2, salt="job-a") == again.delay(2, salt="job-a")
+
+    def test_jitter_bounded_and_stretching(self):
+        policy = RetryPolicy(base_delay=0.5, jitter=0.5, jitter_seed=7)
+        delay = policy.delay(1, salt="job-a")
+        assert 0.5 <= delay <= 0.75  # base .. base * (1 + jitter)
+
+    def test_distinct_salts_decorrelate(self):
+        # The thundering-herd property: concurrent retriers with
+        # different salts must not share a schedule.
+        policy = RetryPolicy(base_delay=0.5, jitter=0.5, jitter_seed=7)
+        delays = {policy.delay(1, salt=f"job-{n}") for n in range(16)}
+        assert len(delays) > 8
+
+    def test_distinct_seeds_differ(self):
+        one = RetryPolicy(base_delay=0.5, jitter=0.5, jitter_seed=1)
+        two = RetryPolicy(base_delay=0.5, jitter=0.5, jitter_seed=2)
+        assert one.delay(1, salt="job") != two.delay(1, salt="job")
+
 
 class TestWorkerCrashRecovery:
     def test_one_crash_retries_and_siblings_survive(self, monkeypatch):
@@ -242,3 +276,41 @@ class TestCheckpointResume:
             retry=RetryPolicy(max_attempts=1), checkpoint=path)
         assert not report.ok
         assert list(SweepCheckpoint(path).load()) == [_key("fop")]
+
+
+class TestWorkerSignalHygiene:
+    def test_worker_init_clears_inherited_wakeup_fd(self):
+        # A forked pool worker inherits the parent asyncio loop's
+        # wakeup fd — a socketpair SHARED with the parent.  If the
+        # executor SIGTERMs the worker, the inherited trampoline would
+        # write into that socket and the parent would read the signal
+        # as its own.  _worker_init must sever the link.
+        import signal
+        import socket
+
+        from repro.harness.experiment import _worker_init
+
+        left, right = socket.socketpair()
+        try:
+            left.setblocking(False)
+            previous = signal.set_wakeup_fd(left.fileno())
+            try:
+                _worker_init()
+                assert signal.set_wakeup_fd(-1) == -1  # already cleared
+            finally:
+                signal.set_wakeup_fd(previous)
+        finally:
+            left.close()
+            right.close()
+
+    def test_worker_init_restores_default_dispositions(self):
+        import signal
+
+        from repro.harness.experiment import _worker_init
+
+        previous = signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        try:
+            _worker_init()
+            assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+        finally:
+            signal.signal(signal.SIGTERM, previous)

@@ -1,0 +1,58 @@
+"""A deterministic stub runner for fast service tests.
+
+Overrides the single seam every execution path funnels through
+(:meth:`ExperimentRunner._execute`) with synthetic arithmetic derived
+from the run key, so service behaviour — queueing, retries, breaker,
+checkpoints, recovery — is exercised with millisecond jobs while the
+sweep machinery (serial path, checkpointing, snapshot isolation) stays
+real.  Always drive it with ``max_workers=1``: pool workers import the
+real module and would not see the stub.
+"""
+
+import hashlib
+
+from repro.core.platform import EmulationMode, MeasurementResult
+from repro.harness.experiment import ExperimentRunner
+from repro.runtime.jvm import RuntimeStats
+
+
+def fabricate_result(key) -> MeasurementResult:
+    """A synthetic but key-deterministic measurement."""
+    digest = hashlib.sha256(
+        f"{key.benchmark}|{key.collector}|{key.instances}"
+        .encode("utf-8")).digest()
+    base = int.from_bytes(digest[:4], "big") % 100000
+    stats = RuntimeStats(minor_gcs=base % 17, full_gcs=base % 3,
+                         bytes_allocated=base * 64,
+                         mutator_cycles=base, gc_cycles=base // 4)
+    return MeasurementResult(
+        benchmark=key.benchmark, collector=key.collector,
+        mode=EmulationMode.EMULATION, instances=key.instances,
+        pcm_write_lines=base, dram_write_lines=base * 2,
+        elapsed_seconds=base / 1000.0,
+        per_tag_pcm_writes={"nursery": base % 1000},
+        per_tag_dram_writes={"mature.dram": base % 500},
+        instance_stats=[stats],
+        monitor_rates_mbs=[float(base % 50)],
+        node_counters=[{"node": 0, "write_lines": base}],
+        llc_stats=[{"socket": 0, "hits": base, "misses": base // 10}],
+        qpi_crossings=base % 7000, host_seconds=0.0)
+
+
+class StubRunner(ExperimentRunner):
+    """Fabricates results in-process; optionally fails some keys."""
+
+    #: Class-level switches so a factory can configure fresh instances.
+    fail_collectors = ()
+
+    def _execute(self, key):
+        if key.collector in self.fail_collectors:
+            raise RuntimeError(f"stubbed failure for {key.collector}")
+        return fabricate_result(key)
+
+
+class ExplodingRunner(ExperimentRunner):
+    """Simulates pool infrastructure collapse on every sweep."""
+
+    def sweep(self, *args, **kwargs):
+        raise OSError("stubbed pool collapse")

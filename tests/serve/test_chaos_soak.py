@@ -1,0 +1,116 @@
+"""The chaos acceptance soak: 200 runs, 20 % faults, one mid-soak kill.
+
+Gated behind ``REPRO_SERVE_SOAK=1`` (CI's ``serve-chaos`` job sets it)
+because it drives the real runner for a couple of minutes.  The claim
+it checks, from the service's robustness contract:
+
+* 25 specs (seeds 0..24) x fop x 8 collectors = 200 accepted runs,
+  sharded across a 4-worker pool whose workers crash on 20 % of keys
+  (``REPRO_WORKER_FAULTS`` shim, same grammar as tests/faults);
+* the server is SIGKILLed mid-soak and restarted on the same store;
+* zero lost jobs — every accepted job reaches a terminal state;
+* every job's merged payload is bit-identical (results + metrics) to
+  ONE unfaulted serial reference sweep.  The specs differ only by
+  ``seed``, which is identity-only (it feeds the digest, not the run
+  grid), so a single reference covers all 25 payloads.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.serve.verify import reference_payload
+from repro.serve.wire import parse_spec, spec_digest
+
+from tests.serve.e2e_util import ServerProcess
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SERVE_SOAK") != "1",
+    reason="soak test; set REPRO_SERVE_SOAK=1 to run")
+
+COLLECTORS = ["PCM-Only", "KG-N", "KG-B", "KG-N+LOO", "KG-B+LOO", "KG-W",
+              "KG-W-LOO", "KG-W-MDO"]
+FAULT_SPEC = "crashrate:p=0.2,seed=3,attempts=1"
+SEEDS = range(25)
+SERVER_ARGS = ("-j", "4", "--retries", "3")
+SERVER_ENV = {"REPRO_WORKER_FAULTS": FAULT_SPEC}
+
+
+def _spec_payload(seed):
+    return {"benchmarks": ["fop"], "collectors": COLLECTORS,
+            "instances": [1], "scale": 64, "seed": seed}
+
+
+def _wait_done_count(server, minimum, timeout=900.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = server.request("/healthz")
+        assert status == 200, body
+        if body["jobs"]["done"] >= minimum:
+            return body
+        time.sleep(1.0)
+    raise AssertionError(f"fewer than {minimum} jobs done after {timeout}s")
+
+
+def _wait_all_terminal(server, timeout=1800.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = server.request("/healthz")
+        assert status == 200, body
+        if body["jobs"]["queued"] == 0 and body["jobs"]["running"] == 0:
+            return body
+        time.sleep(1.0)
+    raise AssertionError(f"jobs still in flight after {timeout}s")
+
+
+def test_soak_with_mid_run_kill_is_lossless_and_bit_identical(tmp_path):
+    # CI points the store at a workspace path so the job journal,
+    # result cache, and checkpoints can be uploaded on failure.
+    store = os.environ.get("REPRO_SERVE_SOAK_STORE") \
+        or str(tmp_path / "store")
+    submitted = {}
+
+    first = ServerProcess(store, extra_args=SERVER_ARGS,
+                          env_extra=SERVER_ENV)
+    try:
+        for seed in SEEDS:
+            payload = _spec_payload(seed)
+            status, body = first.request("/jobs", "POST", payload)
+            assert status == 202, body
+            submitted[body["id"]] = payload
+        assert len(submitted) == len(SEEDS)
+        # Let the soak make real progress, then pull the plug.
+        _wait_done_count(first, minimum=3)
+    finally:
+        first.sigkill()
+
+    second = ServerProcess(store, extra_args=SERVER_ARGS,
+                           env_extra=SERVER_ENV)
+    try:
+        _wait_all_terminal(second)
+
+        # Zero lost jobs: everything we submitted survived the kill.
+        status, listing = second.request("/jobs")
+        assert status == 200
+        listed = {job["id"]: job for job in listing["jobs"]}
+        assert set(submitted) <= set(listed)
+
+        # Every accepted job reached a terminal state — and under a
+        # fault rate the retry budget absorbs, that state is "done".
+        failed = [job_id for job_id in submitted
+                  if listed[job_id]["state"] != "done"]
+        assert not failed, [listed[job_id] for job_id in failed]
+
+        # One serial unfaulted reference covers all 25 payloads: the
+        # specs differ only by identity-level seed.
+        reference = reference_payload(parse_spec(_spec_payload(0)))
+        for job_id, payload in submitted.items():
+            status, view = second.request(f"/jobs/{job_id}")
+            assert status == 200
+            served = view["result"]
+            assert served["digest"] == spec_digest(parse_spec(payload))
+            assert served["results"] == reference["results"], job_id
+            assert served["metrics"] == reference["metrics"], job_id
+    finally:
+        second.close()

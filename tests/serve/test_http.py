@@ -1,0 +1,200 @@
+"""The HTTP/JSON front end: routes, statuses, headers, healthz."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability.metrics import METRICS
+from repro.serve.app import ServeApp, ServeConfig
+
+from tests.serve.stub import StubRunner
+
+SPEC = {"benchmarks": ["fop"], "collectors": ["PCM-Only"],
+        "instances": [1], "seed": 21}
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+def _request(url, method="GET", payload=None):
+    """Blocking HTTP round-trip returning (status, json_body, headers)."""
+    data = json.dumps(payload).encode("utf-8") if payload is not None \
+        else None
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.load(response), dict(
+                response.headers)
+    except urllib.error.HTTPError as error:
+        with error:
+            return error.code, json.load(error), dict(error.headers)
+
+
+async def _call(url, method="GET", payload=None):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _request, url, method, payload)
+
+
+def _serve(tmp_path, scenario, **config_overrides):
+    """Boot an app on an ephemeral port, run ``scenario(url, app)``."""
+    options = dict(port=0, store=str(tmp_path / "store"), max_workers=1)
+    options.update(config_overrides)
+
+    async def main():
+        app = ServeApp(ServeConfig(**options), runner_factory=StubRunner)
+        await app.start()
+        try:
+            return await scenario(f"http://127.0.0.1:{app.port}", app)
+        finally:
+            await app.stop()
+
+    return asyncio.run(main())
+
+
+async def _poll_done(url, job_id, timeout=30.0):
+    for _ in range(int(timeout / 0.02)):
+        status, body, _ = await _call(f"{url}/jobs/{job_id}")
+        assert status == 200
+        if body["state"] in ("done", "failed"):
+            return body
+        await asyncio.sleep(0.02)
+    raise AssertionError("job never finished")
+
+
+class TestRoutes:
+    def test_submit_poll_fetch(self, tmp_path):
+        async def scenario(url, app):
+            status, body, _ = await _call(f"{url}/jobs", "POST", SPEC)
+            assert status == 202
+            assert body["state"] == "queued"
+            final = await _poll_done(url, body["id"])
+            return final
+
+        final = _serve(tmp_path, scenario)
+        assert final["state"] == "done"
+        assert final["result"]["schema"] == "repro.serve_result/v1"
+        assert len(final["result"]["results"]) == 1
+
+    def test_healthz(self, tmp_path):
+        async def scenario(url, app):
+            status, body, _ = await _call(f"{url}/healthz")
+            assert status == 200
+            return body
+
+        body = _serve(tmp_path, scenario)
+        assert body["schema"] == "repro.serve_health/v1"
+        assert body["status"] == "ok"
+        assert body["breaker"] == "closed"
+        assert body["jobs"] == {"queued": 0, "running": 0, "done": 0,
+                                "failed": 0}
+
+    def test_jobs_listing(self, tmp_path):
+        async def scenario(url, app):
+            await _call(f"{url}/jobs", "POST", SPEC)
+            status, body, _ = await _call(f"{url}/jobs")
+            assert status == 200
+            return body
+
+        body = _serve(tmp_path, scenario)
+        assert len(body["jobs"]) == 1
+        assert body["jobs"][0]["id"] == "j000001"
+
+    def test_unknown_job_is_404(self, tmp_path):
+        async def scenario(url, app):
+            status, _, _ = await _call(f"{url}/jobs/j999999")
+            return status
+
+        assert _serve(tmp_path, scenario) == 404
+
+    def test_unknown_route_is_404(self, tmp_path):
+        async def scenario(url, app):
+            status, _, _ = await _call(f"{url}/nope")
+            return status
+
+        assert _serve(tmp_path, scenario) == 404
+
+    def test_wrong_method_is_405(self, tmp_path):
+        async def scenario(url, app):
+            status, _, _ = await _call(f"{url}/healthz", "POST", {})
+            return status
+
+        assert _serve(tmp_path, scenario) == 405
+
+    def test_bad_json_body_is_400(self, tmp_path):
+        def raw_post(url):
+            request = urllib.request.Request(
+                url + "/jobs", data=b"{not json", method="POST")
+            try:
+                with urllib.request.urlopen(request, timeout=10) as resp:
+                    return resp.status
+            except urllib.error.HTTPError as error:
+                with error:
+                    return error.code
+
+        async def scenario(url, app):
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(None, raw_post, url)
+
+        assert _serve(tmp_path, scenario) == 400
+
+    def test_invalid_spec_is_400(self, tmp_path):
+        async def scenario(url, app):
+            status, body, _ = await _call(
+                f"{url}/jobs", "POST", {"collectors": ["NoSuch"]})
+            return status, body
+
+        status, body = _serve(tmp_path, scenario)
+        assert status == 400
+        assert "NoSuch" in body["error"]
+
+
+class TestBackpressureOverHttp:
+    def test_429_carries_retry_after_header(self, tmp_path):
+        class Slow(StubRunner):
+            def _execute(self, key):
+                import time
+                time.sleep(0.3)
+                return super()._execute(key)
+
+        async def scenario(url, app):
+            app._runner_factory = Slow
+            await _call(f"{url}/jobs", "POST", SPEC)  # occupies worker
+            await _call(f"{url}/jobs", "POST", dict(SPEC, seed=22))
+            status, body, headers = await _call(
+                f"{url}/jobs", "POST", dict(SPEC, seed=23))
+            return status, body, headers
+
+        status, body, headers = _serve(tmp_path, scenario, queue_limit=1)
+        assert status == 429
+        assert "Retry-After" in headers
+        assert int(headers["Retry-After"]) >= 1
+
+    def test_draining_returns_503(self, tmp_path):
+        async def scenario(url, app):
+            app.request_drain()
+            status, _, _ = await _call(f"{url}/jobs", "POST", SPEC)
+            return status
+
+        assert _serve(tmp_path, scenario) == 503
+
+
+class TestMemoOverHttp:
+    def test_second_submit_is_200_with_same_job(self, tmp_path):
+        async def scenario(url, app):
+            _, first, _ = await _call(f"{url}/jobs", "POST", SPEC)
+            await _poll_done(url, first["id"])
+            status, second, _ = await _call(f"{url}/jobs", "POST",
+                                            dict(SPEC))
+            return first, status, second
+
+        first, status, second = _serve(tmp_path, scenario)
+        assert status == 200
+        assert second["id"] == first["id"]
+        assert second["state"] == "done"

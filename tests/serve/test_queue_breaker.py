@@ -1,0 +1,160 @@
+"""Admission queue backpressure and circuit-breaker state machine."""
+
+import pytest
+
+from repro.observability.metrics import METRICS
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.queue import AdmissionQueue
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestAdmissionQueue:
+    def test_limit_enforced(self):
+        queue = AdmissionQueue(limit=2)
+        assert queue.offer("a") and queue.offer("b")
+        assert not queue.offer("c")
+        assert queue.depth == 2
+
+    def test_force_bypasses_limit_for_recovery(self):
+        queue = AdmissionQueue(limit=1)
+        assert queue.offer("a")
+        assert queue.offer("recovered", force=True)
+        assert queue.depth == 2
+
+    def test_fifo_and_requeue_front(self):
+        queue = AdmissionQueue(limit=4)
+        queue.offer("a")
+        queue.offer("b")
+        first = queue.pop()
+        assert first == "a"
+        queue.requeue_front(first)
+        assert queue.pop() == "a"
+        assert queue.pop() == "b"
+        assert queue.pop() is None
+
+    def test_depth_gauge_tracks(self):
+        queue = AdmissionQueue(limit=4)
+        queue.offer("a")
+        assert METRICS.value("serve.queue_depth") == 1.0
+        queue.pop()
+        assert METRICS.value("serve.queue_depth") == 0.0
+
+    def test_retry_after_scales_with_depth_and_duration(self):
+        queue = AdmissionQueue(limit=8)
+        assert queue.retry_after() == 1  # no samples yet
+        queue.note_duration(10.0)
+        queue.offer("a")
+        queue.offer("b")
+        # (2 queued + 1 in flight) x 10s.
+        assert queue.retry_after() == 30
+
+    def test_retry_after_clamped(self):
+        queue = AdmissionQueue(limit=1000)
+        queue.note_duration(10_000.0)
+        queue.offer("a")
+        assert queue.retry_after() == 600
+        fast = AdmissionQueue(limit=8)
+        fast.note_duration(0.001)
+        assert fast.retry_after() == 1
+
+    def test_ewma_converges(self):
+        queue = AdmissionQueue(limit=8)
+        queue.note_duration(10.0)
+        for _ in range(60):
+            queue.note_duration(1.0)
+        queue.offer("a")
+        assert queue.retry_after() <= 3
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0,
+                                 clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_in() == 5.0
+        clock.advance(5.0)
+        assert breaker.allow()  # the single probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # no second probe in flight
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_in() == 5.0
+
+    def test_state_gauge_published(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        assert METRICS.value("serve.breaker_state") == 0.0
+        breaker.record_failure()
+        assert METRICS.value("serve.breaker_state") == 1.0
+        clock.advance(5.0)
+        breaker.allow()
+        assert METRICS.value("serve.breaker_state") == 2.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)

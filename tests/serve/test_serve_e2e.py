@@ -1,0 +1,77 @@
+"""End-to-end: the real CLI server, killed and restarted, loses nothing.
+
+These tests exercise the full stack — ``python -m repro serve`` as a
+subprocess, the real :class:`ExperimentRunner`, HTTP submission — with
+a small spec so they stay in tier-1 time budget.  The heavyweight
+20 %-fault soak lives in ``test_chaos_soak.py`` behind an env gate.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.serve.verify import payloads_identical, reference_payload
+from repro.serve.wire import parse_spec
+
+from tests.serve.e2e_util import ServerProcess
+
+SPEC = {"benchmarks": ["fop"], "collectors": ["PCM-Only", "KG-N", "KG-W"],
+        "instances": [1], "scale": 64, "seed": 7}
+
+
+def _wait_for_checkpoint_record(ckpt_path, timeout=60.0):
+    """Block until the job's checkpoint holds >= 1 complete record."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(ckpt_path, "rb") as handle:
+                if handle.read().count(b"\n") >= 1:
+                    return
+        except FileNotFoundError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError("no checkpoint record appeared before timeout")
+
+
+class TestKillRestart:
+    def test_sigkill_mid_job_resumes_bit_identical(self, tmp_path):
+        store = str(tmp_path / "store")
+        first = ServerProcess(store)
+        try:
+            status, body = first.request("/jobs", "POST", SPEC)
+            assert status == 202, body
+            job_id = body["id"]
+            # Kill once the first of three runs has been checkpointed,
+            # so the restarted server must merge salvaged work with the
+            # remaining fresh runs.
+            ckpt = os.path.join(store, "ckpt", f"{job_id}.jsonl")
+            _wait_for_checkpoint_record(ckpt)
+        finally:
+            first.sigkill()
+
+        second = ServerProcess(store)
+        try:
+            final = second.wait_terminal(job_id, timeout=180.0)
+            assert final["state"] == "done", final
+            assert final.get("recovered") is True
+            served = final["result"]
+        finally:
+            second.close()
+
+        reference = reference_payload(parse_spec(SPEC))
+        assert payloads_identical(served, reference), (
+            "resumed payload diverged from unfaulted serial reference")
+
+    def test_sigterm_drains_in_flight_job(self, tmp_path):
+        server = ServerProcess(str(tmp_path / "store"))
+        try:
+            status, body = server.request(
+                "/jobs", "POST", dict(SPEC, collectors=["PCM-Only"]))
+            assert status == 202, body
+            server.sigterm(timeout=120)
+        finally:
+            server.close()
+        assert server.proc.returncode == 0
+        output = server.proc.stdout.read()
+        assert "drained" in output

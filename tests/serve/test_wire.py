@@ -1,0 +1,110 @@
+"""Wire schema: validation, content addressing, canonicalisation."""
+
+import pytest
+
+from repro.serve.wire import (
+    SpecError,
+    canonical_metrics,
+    canonical_result,
+    expand_keys,
+    parse_spec,
+    spec_digest,
+)
+
+
+def _spec(**overrides):
+    payload = {"benchmarks": ["fop"], "collectors": ["PCM-Only"],
+               "instances": [1], "seed": 3}
+    payload.update(overrides)
+    return parse_spec(payload)
+
+
+class TestParseSpec:
+    def test_minimal_defaults(self):
+        spec = parse_spec({})
+        assert spec.benchmarks == ("lusearch",)
+        assert spec.collectors == ("PCM-Only",)
+        assert spec.instances == (1,)
+        assert spec.deadline is None
+
+    def test_comma_strings_accepted(self):
+        spec = parse_spec({"benchmarks": "fop, lusearch",
+                           "collectors": "PCM-Only,KG-N",
+                           "instances": 2})
+        assert spec.benchmarks == ("fop", "lusearch")
+        assert spec.collectors == ("PCM-Only", "KG-N")
+        assert spec.instances == (2,)
+
+    def test_duplicates_deduped_in_order(self):
+        spec = _spec(benchmarks=["fop", "fop", "lusearch"])
+        assert spec.benchmarks == ("fop", "lusearch")
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {"collectors": ["NoSuchCollector"]},
+        {"benchmarks": ["no-such-benchmark"]},
+        {"instances": [0]},
+        {"instances": []},
+        {"instances": [True]},
+        {"dataset": "huge"},
+        {"mode": "teleportation"},
+        {"llc_size": -1},
+        {"scale": 0},
+        {"seed": "seven"},
+        {"deadline": -5},
+        {"deadline": True},
+    ])
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(SpecError):
+            parse_spec(payload)
+
+
+class TestDigest:
+    def test_stable_across_parses(self):
+        assert spec_digest(_spec()) == spec_digest(_spec())
+
+    def test_seed_changes_digest(self):
+        assert spec_digest(_spec(seed=3)) != spec_digest(_spec(seed=4))
+
+    def test_deadline_excluded_from_identity(self):
+        # Same experiment, different patience: must hit the same memo.
+        assert spec_digest(_spec()) == spec_digest(_spec(deadline=30))
+
+    def test_every_identity_field_matters(self):
+        base = spec_digest(_spec())
+        assert spec_digest(_spec(collectors=["KG-N"])) != base
+        assert spec_digest(_spec(instances=[2])) != base
+        assert spec_digest(_spec(scale=32)) != base
+        assert spec_digest(_spec(mode="simulation")) != base
+
+
+class TestExpandKeys:
+    def test_benchmark_major_order(self):
+        spec = _spec(benchmarks=["fop", "lusearch"],
+                     collectors=["PCM-Only", "KG-N"], instances=[1, 2])
+        keys = expand_keys(spec)
+        assert len(keys) == 8 == spec.total_runs
+        assert [k.benchmark for k in keys[:4]] == ["fop"] * 4
+        assert [(k.collector, k.instances) for k in keys[:4]] == [
+            ("PCM-Only", 1), ("PCM-Only", 2), ("KG-N", 1), ("KG-N", 2)]
+
+
+class TestCanonicalisation:
+    def test_result_strips_host_fields(self):
+        result = {"pcm_write_lines": 5, "host_seconds": 1.25,
+                  "profile": {"x": 1}}
+        assert canonical_result(result) == {"pcm_write_lines": 5}
+
+    def test_metrics_strips_bookkeeping(self):
+        snapshot = {
+            "pcm.writes": {"kind": "counter", "value": 9},
+            "platform.run_host_seconds": {"kind": "histogram"},
+            "runner.retries": {"kind": "counter", "value": 2},
+            "serve.queue_depth": {"kind": "gauge", "value": 1.0},
+        }
+        assert canonical_metrics(snapshot) == {
+            "pcm.writes": {"kind": "counter", "value": 9}}
+
+    def test_metrics_sorted_for_stable_serialisation(self):
+        snapshot = {"z.count": {"v": 1}, "a.count": {"v": 2}}
+        assert list(canonical_metrics(snapshot)) == ["a.count", "z.count"]
