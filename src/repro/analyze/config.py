@@ -76,6 +76,7 @@ DEFAULT_COUNTERS: Dict[str, List[str]] = {
     "write_lines": ["MemoryNode"],
     "read_lines": ["MemoryNode"],
     "writes_by_tag": ["MemoryNode"],
+    "migration_write_lines": ["MemoryNode"],
     # Cache accounting (CacheLevel owns its CacheStats; the columnar
     # subclass keeps the same ownership over the matrix state).
     "hits": ["CacheStats", "CacheLevel", "ColumnarCacheLevel"],
@@ -92,6 +93,9 @@ DEFAULT_COUNTERS: Dict[str, List[str]] = {
     "pages_mapped": ["Kernel"],
     "pages_unmapped": ["Kernel"],
     "page_faults": ["Kernel"],
+    "pages_migrated": ["Kernel"],
+    "migration_writes": ["Kernel"],
+    "migration_cycles": ["Kernel"],
     # Wear family.
     "total_writes": ["WearTracker", "StartGapWearLeveler"],
     "gap_moves": ["StartGapWearLeveler"],
@@ -123,6 +127,9 @@ DEFAULT_ENGINE_FUNCTIONS: Tuple[str, ...] = (
 DEFAULT_HOOK_SITES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
     ("repro.kernel.vm", "Kernel.mmap_bind", ("faults", "sanitize", "trace")),
     ("repro.kernel.vm", "Kernel.munmap", ("faults", "sanitize")),
+    ("repro.kernel.vm", "Kernel.migrate_page",
+     ("faults", "sanitize", "trace")),
+    ("repro.kernel.vm", "Kernel.placement_tick", ("sanitize",)),
     ("repro.kernel.vm", "Kernel.reclaim_process", ("faults", "sanitize")),
     ("repro.runtime.heap", "HybridHeap.may_commit", ("faults",)),
     ("repro.runtime.heap", "HybridHeap.note_chunk_acquired", ("sanitize",)),

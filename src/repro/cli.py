@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.config import DEFAULT_SCALE_CONFIG, RECOMMENDED_WRITE_RATE_MBS
 from repro.core.collectors import ALL_COLLECTOR_NAMES
 from repro.core.platform import EmulationMode, HybridMemoryPlatform
+from repro.kernel.placement import placement_names
 from repro.machine.engine import engine_names
 from repro.observability import (
     METRICS,
@@ -55,6 +56,10 @@ def _add_measurement_args(parser: argparse.ArgumentParser) -> None:
                         choices=list(engine_names()),
                         help="cache access engine (default: "
                              "$REPRO_ENGINE or 'batched')")
+    parser.add_argument("--placement", default=None,
+                        choices=list(placement_names()),
+                        help="kernel page-placement policy (default: "
+                             "$REPRO_PLACEMENT or 'static')")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -130,6 +135,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["default", "large"])
     sweep.add_argument("--mode", default="emulation",
                        choices=["emulation", "simulation"])
+    sweep.add_argument("--placement", default="static",
+                       help="comma-separated placement policies "
+                            "(static, first-touch, interleave, migrate; "
+                            "default: static)")
     sweep.add_argument("-j", "--jobs", type=int, default=None,
                        help="worker processes (default: one per core; "
                             "1 forces serial execution)")
@@ -162,6 +171,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--reference", default="perline",
                           help="reference engine to diff against "
                                "(default: perline)")
+    sanitize.add_argument("--placement", default="static",
+                          choices=list(placement_names()),
+                          help="page-placement policy for both replays "
+                               "(default: static)")
+    sanitize.add_argument("--tick-every", type=int, default=0,
+                          help="interleave a placement-safepoint tick "
+                               "op every N trace ops (0 disables; use "
+                               "with --placement migrate; default: 0)")
     sanitize.add_argument("--ops", type=int, default=20000,
                           help="operations per trace (default: 20000)")
     sanitize.add_argument("--trials", type=int, default=1,
@@ -282,7 +299,8 @@ def _measure(args: argparse.Namespace, track_wear: bool = False):
     mode = (EmulationMode.EMULATION if args.mode == "emulation"
             else EmulationMode.SIMULATION)
     platform = HybridMemoryPlatform(mode=mode, track_wear=track_wear,
-                                    engine=args.engine)
+                                    engine=args.engine,
+                                    placement=args.placement)
     factory = benchmark_factory(args.benchmark)
 
     def make_app(index: int):
@@ -425,10 +443,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     retry = (RetryPolicy(max_attempts=args.retries)
              if args.retries is not None else None)
-    keys = [RunKey(benchmark, collector, count, args.dataset, mode)
+    placements = [p.strip() for p in args.placement.split(",") if p.strip()]
+    unknown = [p for p in placements if p not in placement_names()]
+    if unknown:
+        print(f"unknown placement(s) {', '.join(unknown)}; choose from "
+              f"{', '.join(placement_names())}", file=sys.stderr)
+        return 2
+    keys = [RunKey(benchmark, collector, count, args.dataset, mode,
+                   placement=placement)
             for benchmark in benchmarks
             for collector in collectors
-            for count in instance_counts]
+            for count in instance_counts
+            for placement in placements]
     runner = ExperimentRunner()
     report = runner.sweep(keys, max_workers=args.jobs, retry=retry,
                           timeout=args.timeout, checkpoint=args.checkpoint,
@@ -478,7 +504,9 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         fuzzer = DifferentialFuzzer(ops=args.ops, shrink=args.shrink,
                                     check_every=args.check_every,
                                     engine=args.engine,
-                                    reference=args.reference)
+                                    reference=args.reference,
+                                    placement=args.placement,
+                                    tick_every=args.tick_every)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

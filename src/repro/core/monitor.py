@@ -11,7 +11,7 @@ small amount of kernel bookkeeping noise is modelled alongside.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 from repro.config import LINE_SIZE, PAGE_SIZE
@@ -29,6 +29,10 @@ class MonitorSample:
 
     round_index: int
     node_writes: List[int]  # cumulative write lines per node
+    #: Cumulative migration-copy lines per node (subset of
+    #: ``node_writes``).  Defaults empty for samples recorded before
+    #: migration accounting existed; readers treat missing as zero.
+    node_migration_writes: List[int] = field(default_factory=list)
 
 
 class WriteRateMonitor:
@@ -52,7 +56,11 @@ class WriteRateMonitor:
                  sample_buffer_pages: int = 8,
                  noise_lines_per_sample: int = 16) -> None:
         self.kernel = kernel
-        self.process: Process = kernel.create_process(affinity_socket=socket)
+        # The monitor is measurement infrastructure: always statically
+        # placed so a migrate policy never moves (or mis-attributes) the
+        # sample buffer it is writing through.
+        self.process: Process = kernel.create_process(
+            affinity_socket=socket, placement="static")
         buffer_bytes = sample_buffer_pages * PAGE_SIZE
         self._buffer_start = 0x1000
         self._buffer_bytes = buffer_bytes
@@ -79,13 +87,18 @@ class WriteRateMonitor:
         try:
             if stale and self.samples:
                 node_writes = list(self.samples[-1].node_writes)
+                node_migrations = list(
+                    self.samples[-1].node_migration_writes)
             else:
                 # Deferred engines park write-backs in their queues;
                 # flush so the sampled counters are sync-point exact.
                 machine.sync_engines()
                 node_writes = [node.write_lines for node in machine.nodes]
+                node_migrations = [node.migration_write_lines
+                                   for node in machine.nodes]
             record = MonitorSample(round_index=round_index,
-                                   node_writes=node_writes)
+                                   node_writes=node_writes,
+                                   node_migration_writes=node_migrations)
             self.samples.append(record)
             # The monitor writes its record plus working-set churn.
             for _ in range(self.noise_lines_per_sample):
@@ -106,7 +119,8 @@ class WriteRateMonitor:
     def write_rate_series(self, cycles_per_round: float,
                           frequency_hz: float,
                           node_id: int = PCM_NODE,
-                          strict: bool = False) -> List[float]:
+                          strict: bool = False,
+                          include_migrations: bool = False) -> List[float]:
         """MB/s on ``node_id`` (default: PCM) between consecutive samples.
 
         The series always has ``len(samples) - 1`` entries, one per
@@ -116,11 +130,25 @@ class WriteRateMonitor:
         used to shift every later rate one slot earlier.  With
         ``strict=True`` a degenerate interval raises ``ValueError``
         instead.
+
+        By default the series is *mutator-only*: page-migration copy
+        lines (OS traffic under the ``migrate`` placement policy) are
+        subtracted so the paper's write-rate figures stay comparable
+        across placement policies.  Pass ``include_migrations=True``
+        for the raw device rate the wear model sees.
         """
         rates: List[float] = []
         for earlier, later in zip(self.samples, self.samples[1:]):
             delta_lines = (later.node_writes[node_id]
                            - earlier.node_writes[node_id])
+            if not include_migrations:
+                earlier_mig = (earlier.node_migration_writes[node_id]
+                               if node_id < len(earlier.node_migration_writes)
+                               else 0)
+                later_mig = (later.node_migration_writes[node_id]
+                             if node_id < len(later.node_migration_writes)
+                             else 0)
+                delta_lines -= later_mig - earlier_mig
             delta_rounds = later.round_index - earlier.round_index
             seconds = delta_rounds * cycles_per_round / frequency_hz
             if seconds <= 0:

@@ -114,6 +114,20 @@ class MeasurementResult:
     #: None unless :data:`repro.observability.profile.PROFILER` was
     #: enabled during the run.
     profile: Optional[Dict[str, object]] = None
+    #: Resolved placement policy the kernel ran under.
+    placement: str = "static"
+    #: OS page migrations during the measured iteration (``migrate``
+    #: placement only; zero otherwise).
+    pages_migrated: int = 0
+    #: Copy lines those migrations charged (whole pages; see the
+    #: sanitizer's migration_conservation law).
+    migration_writes: int = 0
+    #: Simulated cycles spent copying migrated pages.
+    migration_cycles: int = 0
+    #: Migration-copy lines that landed on each node during the
+    #: measured iteration (subsets of the headline write counters).
+    pcm_migration_write_lines: int = 0
+    dram_migration_write_lines: int = 0
 
     @property
     def pcm_write_bytes(self) -> int:
@@ -133,6 +147,11 @@ class MeasurementResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.pcm_write_bytes / self.elapsed_seconds / 1e6
+
+    @property
+    def pcm_mutator_write_lines(self) -> int:
+        """PCM write lines excluding OS page-migration copies."""
+        return self.pcm_write_lines - self.pcm_migration_write_lines
 
     def describe(self) -> str:
         return (f"{self.benchmark} x{self.instances} [{self.collector}, "
@@ -160,6 +179,9 @@ def _counter_snapshot(machine, kernel: Kernel) -> Dict[str, int]:
         "qpi.crossings": machine.qpi_crossings,
         "page_faults": kernel.page_faults,
         "pages_mapped": kernel.pages_mapped,
+        "pages_migrated": kernel.pages_migrated,
+        "pcm.migration_writes": pcm.migration_write_lines,
+        "dram.migration_writes": dram.migration_write_lines,
     }
     for socket in machine.sockets:
         stats = socket.llc.stats
@@ -198,7 +220,8 @@ class HybridMemoryPlatform:
                  monitor_interval_rounds: int = 8,
                  llc_size_override: int = 0,
                  track_wear: bool = False,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 placement: Optional[str] = None) -> None:
         self.mode = mode
         self.scale = scale
         self.latency = latency
@@ -208,6 +231,9 @@ class HybridMemoryPlatform:
         self.track_wear = track_wear
         #: Access-engine name (None honours $REPRO_ENGINE / default).
         self.engine = engine
+        #: Placement-policy name (None honours $REPRO_PLACEMENT /
+        #: default); see :mod:`repro.kernel.placement`.
+        self.placement = placement
 
     def _machine_spec(self) -> MachineSpec:
         if self.mode is EmulationMode.EMULATION:
@@ -294,7 +320,7 @@ class HybridMemoryPlatform:
         host_start = time.perf_counter()
         emulating = self.mode is EmulationMode.EMULATION
         machine = self._machine_spec().build(engine=self.engine)
-        kernel = Kernel(machine)
+        kernel = Kernel(machine, placement=self.placement)
         #: Exposed for tests that inject faults mid-run and then verify
         #: the platform released every frame and monitor process.
         self.debug_last_kernel = kernel
@@ -326,8 +352,18 @@ class HybridMemoryPlatform:
                 ctxs.append(ctx)
 
             # ---- iteration 1: warm-up (replay compilation's compile pass)
+            interval = self.monitor_interval_rounds
+
+            def warmup_round(round_index: int) -> None:
+                # Migrate-policy safepoints run during warm-up too, so
+                # hot pages reach their steady-state placement before
+                # the barrier (replay compilation's whole point).
+                if round_index % interval == 0:
+                    kernel.placement_tick()
+
             warmup = Scheduler(seed=self.seeds.scheduler, jitter=emulating)
-            warmup.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)])
+            warmup.run([app.iteration(ctx) for app, ctx in zip(apps, ctxs)],
+                       on_round=warmup_round)
 
             # ---- barrier: reset counters; snapshot cycles and stats
             machine.reset_counters()
@@ -345,6 +381,11 @@ class HybridMemoryPlatform:
             stat_marks = [vm.stats.copy() for vm in vms]
             mutator_marks = [sum(t.cycles for t in vm.app_threads)
                              for vm in vms]
+            # Kernel migration counters are cumulative (never reset);
+            # mark them so the result reports the measured iteration.
+            migration_marks = (kernel.pages_migrated,
+                               kernel.migration_writes,
+                               kernel.migration_cycles)
             if profiling:
                 # Baseline sits exactly at the barrier, so attributed
                 # deltas and the result's counters share a zero point.
@@ -357,11 +398,14 @@ class HybridMemoryPlatform:
             # ---- iteration 2: measured, all instances starting together
             measured = Scheduler(seed=self.seeds.scheduler + 1,
                                  jitter=emulating)
-            interval = self.monitor_interval_rounds
 
             def on_round(round_index: int) -> None:
-                if monitor is not None and round_index % interval == 0:
-                    monitor.sample(round_index)
+                if round_index % interval == 0:
+                    # Tick before sampling so the monitor reads counters
+                    # that already include this safepoint's migrations.
+                    kernel.placement_tick()
+                    if monitor is not None:
+                        monitor.sample(round_index)
 
             mutator_frame = TRACER.push("mutator")
             try:
@@ -413,6 +457,7 @@ class HybridMemoryPlatform:
                 "kind": node.kind,
                 "read_lines": node.read_lines,
                 "write_lines": node.write_lines,
+                "migration_write_lines": node.migration_write_lines,
             } for node in machine.nodes]
 
             result = MeasurementResult(
@@ -430,6 +475,14 @@ class HybridMemoryPlatform:
                 node_counters=node_counters,
                 llc_stats=llc_stats,
                 qpi_crossings=machine.qpi_crossings,
+                placement=kernel.placement,
+                pages_migrated=kernel.pages_migrated - migration_marks[0],
+                migration_writes=(kernel.migration_writes
+                                  - migration_marks[1]),
+                migration_cycles=(kernel.migration_cycles
+                                  - migration_marks[2]),
+                pcm_migration_write_lines=pcm_node.migration_write_lines,
+                dram_migration_write_lines=dram_node.migration_write_lines,
             )
             if wear_tracker is not None:
                 from repro.machine.wear import effective_endurance_efficiency
@@ -559,6 +612,9 @@ class HybridMemoryPlatform:
         METRICS.inc("kernel.pages_mapped", kernel.pages_mapped)
         METRICS.inc("kernel.pages_unmapped", kernel.pages_unmapped)
         METRICS.inc("kernel.page_faults", kernel.page_faults)
+        METRICS.inc("kernel.pages_migrated", kernel.pages_migrated)
+        METRICS.inc("kernel.migration_writes", kernel.migration_writes)
+        METRICS.inc("kernel.migration_cycles", kernel.migration_cycles)
         METRICS.inc("kernel.scheduler.rounds", scheduler.rounds)
         METRICS.inc("kernel.scheduler.dispatches", scheduler.dispatches)
         gc_prefix = f"gc.{sanitize(result.collector)}"

@@ -32,6 +32,7 @@ EXPERIMENTS = [
     "scale_robustness",
     "observer_sweep",
     "writes_breakdown",
+    "migration_vs_gc",
 ]
 
 

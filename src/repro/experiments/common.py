@@ -76,7 +76,8 @@ def error_result(key: RunKey) -> MeasurementResult:
         dram_write_lines=nan, elapsed_seconds=nan,
         per_tag_pcm_writes={}, per_tag_dram_writes={},
         instance_stats=[RuntimeStats() for _ in range(key.instances)],
-        monitor_rates_mbs=[], qpi_crossings=nan)
+        monitor_rates_mbs=[], qpi_crossings=nan,
+        placement=key.placement)
 
 
 class ResilientRunner(ExperimentRunner):
@@ -110,7 +111,8 @@ class ResilientRunner(ExperimentRunner):
             instances: int = 1, dataset: str = "default",
             mode: EmulationMode = EmulationMode.EMULATION,
             llc_size: int = 0,
-            scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> MeasurementResult:
+            scale: ScaleConfig = DEFAULT_SCALE_CONFIG,
+            placement: str = "static") -> MeasurementResult:
         attempts = (self.retry.max_attempts
                     if self.on_error == "retry" else 1)
         last_exc: Optional[BaseException] = None
@@ -122,13 +124,14 @@ class ResilientRunner(ExperimentRunner):
                     time.sleep(delay)
             try:
                 return super().run(benchmark, collector, instances,
-                                   dataset, mode, llc_size, scale)
+                                   dataset, mode, llc_size, scale,
+                                   placement)
             except Exception as exc:  # noqa: BLE001 - policy decides
                 if self.on_error == "fail":
                     raise
                 last_exc = exc
         key = RunKey(benchmark, collector, instances, dataset, mode,
-                     llc_size, scale.scale)
+                     llc_size, scale.scale, placement)
         self.errors.append((key, last_exc))
         METRICS.inc("runner.failures")
         placeholder = error_result(key)

@@ -22,6 +22,10 @@ Registered sites (each hook documents its own context keys):
 ``kernel.munmap``         entry of :meth:`Kernel.munmap`; ``raise``
                           actions model a failing unmap before any
                           frame is released (the call is atomic).
+``kernel.migrate``        entry of :meth:`Kernel.migrate_page`, before
+                          the destination frame is allocated; ``raise``
+                          actions model a migration aborted by frame
+                          exhaustion — no counter moves, page stays put.
 ``kernel.reclaim``        entry of :meth:`Kernel.reclaim_process`;
                           ``raise`` actions model dying mid-teardown.
 ``runtime.alloc``         entry of :meth:`MutatorContext.alloc`; ``raise``

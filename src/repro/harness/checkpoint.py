@@ -131,6 +131,12 @@ def result_to_dict(result: MeasurementResult) -> Dict:
         "qpi_crossings": result.qpi_crossings,
         "host_seconds": result.host_seconds,
         "profile": result.profile,
+        "placement": result.placement,
+        "pages_migrated": result.pages_migrated,
+        "migration_writes": result.migration_writes,
+        "migration_cycles": result.migration_cycles,
+        "pcm_migration_write_lines": result.pcm_migration_write_lines,
+        "dram_migration_write_lines": result.dram_migration_write_lines,
     }
 
 
@@ -159,18 +165,45 @@ def result_from_dict(data: Dict) -> MeasurementResult:
         qpi_crossings=data["qpi_crossings"],
         host_seconds=data.get("host_seconds", 0.0),
         profile=data.get("profile"),
+        placement=data.get("placement", "static"),
+        pages_migrated=data.get("pages_migrated", 0),
+        migration_writes=data.get("migration_writes", 0),
+        migration_cycles=data.get("migration_cycles", 0),
+        pcm_migration_write_lines=data.get("pcm_migration_write_lines", 0),
+        dram_migration_write_lines=data.get("dram_migration_write_lines", 0),
     )
+
+
+class CheckpointMismatch(ValueError):
+    """A checkpoint was written under a different engine/placement.
+
+    Resuming would merge counters from two incompatible configurations
+    (e.g. a sweep checkpointed under ``$REPRO_ENGINE=columnar`` resumed
+    under ``perline``) — bit-identical by contract, but a mismatch here
+    means someone changed the environment mid-sweep, which is exactly
+    the silent-drift scenario checkpoints exist to prevent.
+    """
 
 
 class SweepCheckpoint:
     """Append-only JSONL store of completed ``RunKey -> result`` pairs.
 
+    ``engine`` / ``placement`` stamp the file with the configuration
+    the sweep runs under (a ``"header"`` record written at truncate or
+    first append).  :meth:`load` raises :class:`CheckpointMismatch`
+    when the on-disk stamp disagrees with this process's — headerless
+    files written before stamping existed load without complaint.
+
     The key type is imported lazily to avoid a cycle with
     :mod:`repro.harness.experiment` (which owns :class:`RunKey`).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, engine: Optional[str] = None,
+                 placement: Optional[str] = None) -> None:
         self.path = path
+        #: Engine / placement stamps this process will write and check.
+        self.engine = engine
+        self.placement = placement
         #: Records appended by this process (not counting loaded ones).
         self.appended = 0
         #: Set by :meth:`load`: the file ended in a torn (crash-cut)
@@ -187,7 +220,7 @@ class SweepCheckpoint:
         return {"benchmark": key.benchmark, "collector": key.collector,
                 "instances": key.instances, "dataset": key.dataset,
                 "mode": key.mode.value, "llc_size": key.llc_size,
-                "scale": key.scale}
+                "scale": key.scale, "placement": key.placement}
 
     @staticmethod
     def _key_from_dict(data: Dict):
@@ -195,12 +228,21 @@ class SweepCheckpoint:
         return RunKey(data["benchmark"], data["collector"],
                       data["instances"], data["dataset"],
                       EmulationMode(data["mode"]), data["llc_size"],
-                      data["scale"])
+                      data["scale"], data.get("placement", "static"))
+
+    def _header_record(self) -> Optional[Dict]:
+        if self.engine is None and self.placement is None:
+            return None
+        return {"schema": CHECKPOINT_SCHEMA,
+                "header": {"engine": self.engine,
+                           "placement": self.placement}}
 
     def truncate(self) -> None:
         """Start the checkpoint over (a sweep not asked to resume)."""
-        with open(self.path, "w", encoding="utf-8"):
-            pass
+        header = self._header_record()
+        with open(self.path, "w", encoding="utf-8") as handle:
+            if header is not None:
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
 
     def append(self, key, result: MeasurementResult,
                metrics: Optional[Dict] = None) -> None:
@@ -208,7 +250,8 @@ class SweepCheckpoint:
 
         A torn trailing record left by an earlier crash is truncated
         first — otherwise this record would share its line and both
-        would be lost on the next load.
+        would be lost on the next load.  An empty file gets the
+        engine/placement header before its first record.
         """
         record = {
             "schema": CHECKPOINT_SCHEMA,
@@ -217,7 +260,10 @@ class SweepCheckpoint:
             "metrics": metrics or {},
         }
         repair_jsonl_tail(self.path)
+        header = self._header_record()
         with open(self.path, "a", encoding="utf-8") as handle:
+            if header is not None and handle.tell() == 0:
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -235,6 +281,10 @@ class SweepCheckpoint:
         is set.  Malformed complete lines are skipped and counted in
         :attr:`skipped` (the run they described is simply re-executed);
         later records for the same key win, matching append order.
+
+        Raises :class:`CheckpointMismatch` when the file carries an
+        engine/placement header disagreeing with this checkpoint's
+        stamps (both sides must be known to conflict).
         """
         restored: Dict = {}
         self.torn_tail = False
@@ -248,8 +298,13 @@ class SweepCheckpoint:
                 record = json.loads(line)
                 if record.get("schema") != CHECKPOINT_SCHEMA:
                     continue
+                if "header" in record:
+                    self._check_header(record["header"])
+                    continue
                 key = self._key_from_dict(record["key"])
                 result = result_from_dict(record["result"])
+            except CheckpointMismatch:
+                raise
             except (ValueError, KeyError, TypeError):
                 self.skipped += 1
                 METRICS.inc("checkpoint.skipped_records")
@@ -259,3 +314,15 @@ class SweepCheckpoint:
                 continue  # unreadable record: re-run that key
             restored[key] = (result, record.get("metrics", {}))
         return restored
+
+    def _check_header(self, header: Dict) -> None:
+        """Fail loudly when the stamped environment disagrees with ours."""
+        for field, ours in (("engine", self.engine),
+                            ("placement", self.placement)):
+            theirs = header.get(field)
+            if ours is not None and theirs is not None and ours != theirs:
+                raise CheckpointMismatch(
+                    f"checkpoint {self.path} was written under "
+                    f"{field}={theirs!r} but this sweep resolves "
+                    f"{field}={ours!r}; re-run under the original "
+                    f"environment or start a fresh checkpoint")

@@ -69,6 +69,8 @@ class RunKey:
     mode: EmulationMode
     llc_size: int = 0
     scale: int = DEFAULT_SCALE_CONFIG.scale
+    #: Kernel placement policy (see :mod:`repro.kernel.placement`).
+    placement: str = "static"
 
 
 def _jitter_fraction(seed: int, salt: str, attempt: int) -> float:
@@ -230,7 +232,8 @@ def _worker_init() -> None:
         signal.signal(signum, signal.SIG_DFL)
 
 
-def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int, bool]
+def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int, bool,
+                               str]
                 ) -> Tuple[MeasurementResult, Dict[str, Dict[str, float]]]:
     """Execute one configuration in a pool worker process.
 
@@ -240,19 +243,21 @@ def _worker_run(payload: Tuple[str, str, int, str, str, int, int, int, bool]
     so without the reset a worker's snapshot would double-count earlier
     runs when merged.  The ``attempt`` element exists for the env-keyed
     fault shim (crash/hang-on-Nth-attempt testing); the trailing
-    ``profile`` flag turns on the attribution profiler for the run
-    (workers are reused, so it is always restored afterwards).
+    ``profile`` flag and ``placement`` name ride at the end so
+    ``maybe_fault``'s ``payload[:7]`` key stays stable (workers are
+    reused, so the profiler is always restored afterwards).
     """
     from repro.faults.worker import maybe_fault
     from repro.workloads.registry import benchmark_factory
 
     benchmark, collector, instances, dataset, mode_value, llc_size, \
-        scale_int, attempt, profile = payload
+        scale_int, attempt, profile, placement = payload
     maybe_fault(payload[:7], attempt)
     METRICS.reset()
     platform = HybridMemoryPlatform(mode=EmulationMode(mode_value),
                                     scale=ScaleConfig(scale=scale_int),
-                                    llc_size_override=llc_size)
+                                    llc_size_override=llc_size,
+                                    placement=placement)
     factory = benchmark_factory(benchmark)
     scale = ScaleConfig(scale=scale_int)
 
@@ -299,10 +304,11 @@ class ExperimentRunner:
             instances: int = 1, dataset: str = "default",
             mode: EmulationMode = EmulationMode.EMULATION,
             llc_size: int = 0,
-            scale: ScaleConfig = DEFAULT_SCALE_CONFIG) -> MeasurementResult:
+            scale: ScaleConfig = DEFAULT_SCALE_CONFIG,
+            placement: str = "static") -> MeasurementResult:
         """Measure one configuration (cached)."""
         key = RunKey(benchmark, collector, instances, dataset, mode,
-                     llc_size, scale.scale)
+                     llc_size, scale.scale, placement)
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
@@ -338,7 +344,8 @@ class ExperimentRunner:
 
         scale = ScaleConfig(scale=key.scale)
         platform = HybridMemoryPlatform(mode=key.mode, scale=scale,
-                                        llc_size_override=key.llc_size)
+                                        llc_size_override=key.llc_size,
+                                        placement=key.placement)
         factory = benchmark_factory(key.benchmark)
 
         def make_app(index: int, scale=scale):
@@ -377,14 +384,14 @@ class ExperimentRunner:
     def _payload(self, key: RunKey, attempt: int):
         return (key.benchmark, key.collector, key.instances, key.dataset,
                 key.mode.value, key.llc_size, key.scale, attempt,
-                self.profile)
+                self.profile, key.placement)
 
     @staticmethod
     def _retry_salt(key: RunKey) -> str:
         """Stable per-key salt so jittered retries decorrelate."""
         return (f"{key.benchmark}/{key.collector}/{key.instances}/"
                 f"{key.dataset}/{key.mode.value}/{key.llc_size}/"
-                f"{key.scale}")
+                f"{key.scale}/{key.placement}")
 
     @staticmethod
     def _note_retry(key: RunKey, attempt: int, exc: BaseException) -> None:
@@ -570,7 +577,15 @@ class ExperimentRunner:
         restored: Dict[RunKey, Tuple[MeasurementResult, Dict]] = {}
         if checkpoint:
             from repro.harness.checkpoint import SweepCheckpoint
-            ckpt = SweepCheckpoint(checkpoint)
+            from repro.kernel.placement import resolve_placement
+            from repro.machine.engine import resolve_engine
+            # Stamp the checkpoint with the environment the runs will
+            # actually execute under: a resume under a different
+            # $REPRO_ENGINE / $REPRO_PLACEMENT would silently merge
+            # counters from two incompatible configurations.
+            ckpt = SweepCheckpoint(checkpoint,
+                                   engine=resolve_engine(None).name,
+                                   placement=resolve_placement(None))
             if resume:
                 restored = ckpt.load()
             else:

@@ -7,13 +7,16 @@ the mapped frame — one dict lookup plus shift/mask per access.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.config import PAGE_SHIFT
 
 #: Lines per page (PAGE_SIZE / LINE_SIZE).
 LINES_PER_PAGE_SHIFT = PAGE_SHIFT - 6
 LINE_OFFSET_MASK = (1 << LINES_PER_PAGE_SHIFT) - 1
+
+#: Sentinel distinguishing "no reservation" from a ``None`` tag.
+_MISSING: object = object()
 
 
 class PageFault(Exception):
@@ -32,6 +35,9 @@ class PageTable:
         self._line_base: Dict[int, int] = {}
         # vpage -> (node_id, frame) for unmapping and introspection
         self._entries: Dict[int, Tuple[int, int]] = {}
+        # vpage -> attribution tag for ranges bound but not yet backed
+        # (lazy placement policies); populated pages move to _entries.
+        self._reserved: Dict[int, Optional[str]] = {}
         #: Translation epoch, bumped whenever an existing translation
         #: becomes invalid (unmap).  Per-thread software TLBs compare it
         #: before trusting a cached vpage -> line-base entry; new
@@ -46,6 +52,48 @@ class PageTable:
             raise ValueError(f"virtual page {vpage:#x} already mapped")
         self._entries[vpage] = (node_id, frame)
         self._line_base[vpage] = frame_paddr >> 6
+
+    # ------------------------------------------------------------------
+    # Reservations (lazy placement policies: bind now, back on touch)
+    # ------------------------------------------------------------------
+    def reserve(self, vpage: int, tag: Optional[str]) -> None:
+        """Record a bound-but-unbacked page; double booking is an error."""
+        if vpage in self._entries or vpage in self._reserved:
+            raise ValueError(f"virtual page {vpage:#x} already bound")
+        self._reserved[vpage] = tag
+
+    def is_reserved(self, vpage: int) -> bool:
+        return vpage in self._reserved
+
+    def reserved_tag(self, vpage: int) -> Optional[str]:
+        return self._reserved.get(vpage)
+
+    def retag_reserved(self, vpage: int, tag: str) -> None:
+        """Change the attribution tag a reservation will back with."""
+        if vpage not in self._reserved:
+            raise PageFault(vpage << PAGE_SHIFT)
+        self._reserved[vpage] = tag
+
+    def unreserve(self, vpage: int) -> None:
+        """Drop a reservation (munmap of a never-touched page)."""
+        if self._reserved.pop(vpage, _MISSING) is _MISSING:
+            raise PageFault(vpage << PAGE_SHIFT)
+
+    def populate(self, vpage: int, node_id: int, frame: int,
+                 frame_paddr: int) -> None:
+        """Back a reserved page with a frame (first touch)."""
+        if vpage not in self._reserved:
+            raise PageFault(vpage << PAGE_SHIFT)
+        del self._reserved[vpage]
+        self.map_page(vpage, node_id, frame, frame_paddr)
+
+    @property
+    def reserved_pages(self) -> int:
+        return len(self._reserved)
+
+    def reserved_vpages(self) -> Iterator[int]:
+        """Yield every reserved (unbacked) virtual page."""
+        yield from self._reserved
 
     def unmap_page(self, vpage: int) -> Tuple[int, int]:
         """Remove a mapping, returning ``(node_id, frame)``."""

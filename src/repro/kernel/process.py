@@ -13,9 +13,9 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.kernel.pagetable import (
     LINE_OFFSET_MASK,
     LINES_PER_PAGE_SHIFT,
-    PageFault,
     PageTable,
 )
+from repro.kernel.placement import PlacementPolicy, StaticPlacement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.vm import Kernel
@@ -53,8 +53,10 @@ class SimThread:
         if vpage != self._tlb_vpage or table.epoch != self._tlb_epoch:
             base = table.line_base_map.get(vpage)
             if base is None:
-                self.process.kernel.count_page_fault()
-                raise PageFault(first << 6)
+                # fault_in counts the fault, then backs a reserved page
+                # (lazy policies) or raises PageFault with this vaddr.
+                base = self.process.kernel.fault_in(
+                    self.process, vpage, self.socket_id, first << 6)
             self._tlb_vpage = vpage
             self._tlb_base = base
             self._tlb_epoch = table.epoch
@@ -88,10 +90,13 @@ class SimThread:
                 base = line_map.get(vpage)
                 if base is None:
                     # Like the per-line path: earlier runs of this block
-                    # have already touched the caches, the faulting
-                    # run's cycles are discarded with the exception.
-                    self.process.kernel.count_page_fault()
-                    raise PageFault(first << 6)
+                    # have already touched the caches; if fault_in
+                    # raises, the faulting run's cycles are discarded
+                    # with the exception.  A serviced fault (lazy
+                    # policies) returns the fresh frame's line base and
+                    # the block continues.
+                    base = self.process.kernel.fault_in(
+                        self.process, vpage, self.socket_id, first << 6)
                 tlb_vpage = vpage
                 tlb_base = base
             offset = first & LINE_OFFSET_MASK
@@ -118,8 +123,9 @@ class SimThread:
         for vline in range(first, last + 1):
             base = line_map.get(vline >> LINES_PER_PAGE_SHIFT)
             if base is None:
-                self.process.kernel.count_page_fault()
-                raise PageFault(vline << 6)
+                base = self.process.kernel.fault_in(
+                    self.process, vline >> LINES_PER_PAGE_SHIFT,
+                    self.socket_id, vline << 6)
             cycles += access_line(base + (vline & LINE_OFFSET_MASK), is_write)
         self.cycles += cycles
         return cycles
@@ -233,10 +239,19 @@ class ColumnarSimThread(SimThread):
             else:
                 base = line_map.get(vpage)
                 if base is None:
-                    cp._pending_lines = pending
-                    self._discard_block_cycles(first - (vaddr >> 6))
-                    self.process.kernel.count_page_fault()
-                    raise PageFault(first << 6)
+                    # A serviced fault (lazy policies) continues the
+                    # block with the fresh frame's base; any raise —
+                    # PageFault or frame exhaustion — restores the
+                    # queue and discards the block's cycles, matching
+                    # the oracle's partial-block fault semantics.
+                    try:
+                        base = self.process.kernel.fault_in(
+                            self.process, vpage, self.socket_id,
+                            first << 6)
+                    except Exception:
+                        cp._pending_lines = pending
+                        self._discard_block_cycles(first - (vaddr >> 6))
+                        raise
                 tlb_vpage = vpage
                 tlb_base = base
             offset = first & LINE_OFFSET_MASK
@@ -301,8 +316,9 @@ class ColumnarSimThread(SimThread):
         for vline in range(first, last + 1):
             base = line_map.get(vline >> LINES_PER_PAGE_SHIFT)
             if base is None:
-                self.process.kernel.count_page_fault()
-                raise PageFault(vline << 6)
+                base = self.process.kernel.fault_in(
+                    self.process, vline >> LINES_PER_PAGE_SHIFT,
+                    self.socket_id, vline << 6)
             access_line(base + (vline & LINE_OFFSET_MASK), is_write)
         return 0
 
@@ -315,11 +331,19 @@ class Process:
     """
 
     def __init__(self, pid: int, kernel: "Kernel",
-                 affinity_socket: int = 0) -> None:
+                 affinity_socket: int = 0,
+                 placement: Optional[PlacementPolicy] = None) -> None:
         self.pid = pid
         self.kernel = kernel
         self.affinity_socket = affinity_socket
         self.page_table = PageTable()
+        # Placement policy for this process's pages; the kernel's
+        # create_process passes the resolved one, direct construction
+        # (tests, tools) defaults to today's static behaviour.
+        if placement is None:
+            placement = StaticPlacement(kernel)
+        placement.bind(self)
+        self.placement: PlacementPolicy = placement
         self.threads: List[SimThread] = []
         self._next_tid = 0
 

@@ -58,6 +58,9 @@ class MemoryNode:
         # Counters, in cache lines.
         self.write_lines = 0
         self.read_lines = 0
+        #: Subset of ``write_lines`` issued by page-migration copies
+        #: (writes the mutator never made; see Kernel.migrate_page).
+        self.migration_write_lines = 0
         self.writes_by_tag: Dict[str, int] = {}
         # Physical page -> attribution tag (heap space name).
         self._page_tags: Dict[int, str] = {}
@@ -109,6 +112,10 @@ class MemoryNode:
         frame = (line << 6) >> PAGE_SHIFT & ((1 << (NODE_SHIFT - PAGE_SHIFT)) - 1)
         return self._page_tags.get(frame)
 
+    def tag_of_frame(self, frame: int) -> Optional[str]:
+        """Attribution tag of ``frame`` (carried across migrations)."""
+        return self._page_tags.get(frame)
+
     # ------------------------------------------------------------------
     # Traffic counters
     # ------------------------------------------------------------------
@@ -152,6 +159,20 @@ class MemoryNode:
                         writes_by_tag[tag] = (writes_by_tag.get(tag, 0)
                                               + frame_count)
 
+    def record_migration_write(self, line: int) -> None:
+        """Count one page-migration copy line landing on this node.
+
+        Counted in ``write_lines`` too (the device genuinely writes,
+        and wear is real) but attributed to the ``(migration)`` pseudo
+        tag instead of the frame's heap space: the space's mutator
+        didn't issue the write, the OS did.  The sanitizer's
+        migration_conservation law reconciles this subset counter.
+        """
+        self.write_lines += 1
+        self.migration_write_lines += 1
+        self.writes_by_tag["(migration)"] = (
+            self.writes_by_tag.get("(migration)", 0) + 1)
+
     def record_read(self, line: int) -> None:
         self.read_lines += 1
 
@@ -167,6 +188,7 @@ class MemoryNode:
         """Zero traffic counters (used between warm-up and measurement)."""
         self.write_lines = 0
         self.read_lines = 0
+        self.migration_write_lines = 0
         self.writes_by_tag = {}
 
     def snapshot(self) -> Dict[str, int]:
@@ -174,6 +196,7 @@ class MemoryNode:
         return {
             "write_lines": self.write_lines,
             "read_lines": self.read_lines,
+            "migration_write_lines": self.migration_write_lines,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -253,6 +253,20 @@ class NumaMachine:
         for listener in self.write_listeners:
             listener(line)
 
+    def migration_write(self, line: int) -> None:
+        """Route one page-migration copy line to its home node.
+
+        Like :meth:`memory_write` but lands in the node's dedicated
+        migration counter (and the ``(migration)`` attribution tag)
+        alongside its write counter.  Listeners fire as usual so the
+        wear tracker charges the copy to PCM endurance.  Migration
+        copies bypass the cache hierarchy — a device-side copy engine,
+        not a cached mutator access — so no read counters move.
+        """
+        self.nodes[node_of_line(line)].record_migration_write(line)
+        for listener in self.write_listeners:
+            listener(line)
+
     def memory_write_bulk(self, lines: np.ndarray) -> None:
         """Route a batch of write-backs (int64 line addresses, in order).
 

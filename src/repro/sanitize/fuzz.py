@@ -50,7 +50,7 @@ from repro.sanitize.invariants import Sanitizer, Violation
 # ----------------------------------------------------------------------
 
 #: Operation kinds a trace may contain.
-OP_KINDS = ("access", "mmap", "munmap", "drain", "flush")
+OP_KINDS = ("access", "mmap", "munmap", "drain", "flush", "tick")
 
 
 @dataclass
@@ -86,6 +86,8 @@ class TraceOp:
             return f"munmap {self.vaddr:#x} {self.pages}p"
         if self.kind == "drain":
             return f"drain t{self.thread}"
+        if self.kind == "tick":
+            return "tick"
         return "flush"
 
 
@@ -116,15 +118,22 @@ _ACCESS_SIZES = (1, 4, 8, 64, 100, 256, 1024, 4096, 8192, 12288)
 _ACCESS_WEIGHTS = (12, 12, 12, 16, 10, 10, 10, 8, 6, 4)
 
 
-def generate_trace(seed: int, ops: int) -> List[TraceOp]:
+def generate_trace(seed: int, ops: int,
+                   tick_every: int = 0) -> List[TraceOp]:
     """Deterministic random trace of ``ops`` operations.
 
-    A pure function of ``(seed, ops)``: the generator keeps its own
-    model of which dynamic slots are mapped, so it never has to look at
-    a machine.  ~70 % accesses (half writes, sizes up to three pages,
-    arbitrary alignment), the rest mmap/munmap/drain/flush plus a few
-    percent of deliberately-faulting operations, whose exceptions are
-    part of the compared behaviour.
+    A pure function of ``(seed, ops, tick_every)``: the generator keeps
+    its own model of which dynamic slots are mapped, so it never has to
+    look at a machine.  ~70 % accesses (half writes, sizes up to three
+    pages, arbitrary alignment), the rest mmap/munmap/drain/flush plus
+    a few percent of deliberately-faulting operations, whose exceptions
+    are part of the compared behaviour.
+
+    ``tick_every > 0`` interleaves a placement-safepoint ``tick`` op
+    after every that many generated ops.  The ticks are inserted as a
+    post-pass so the underlying random trace for a given ``(seed,
+    ops)`` stays byte-identical to the historical generator — existing
+    seeds and shrunk artifacts keep reproducing.
     """
     rng = random.Random(seed)
     mapped: Dict[int, int] = {}  # slot -> pages
@@ -158,6 +167,13 @@ def generate_trace(seed: int, ops: int) -> List[TraceOp]:
             trace.append(TraceOp("flush"))
         else:
             trace.append(_gen_hostile(rng, mapped))
+    if tick_every > 0:
+        ticked: List[TraceOp] = []
+        for index, op in enumerate(trace):
+            ticked.append(op)
+            if (index + 1) % tick_every == 0:
+                ticked.append(TraceOp("tick"))
+        trace = ticked
     return trace
 
 
@@ -220,16 +236,22 @@ class TraceReplayer:
     production code would.  ``"oracle"`` is accepted as an alias for
     ``"perline"``.  Everything else (kernel calls, drains, flushes) is
     engine-independent and must leave identical state.
+
+    ``placement`` selects the kernel page-placement policy for the
+    replayed process (see :mod:`repro.kernel.placement`); ``tick`` ops
+    run the policy's migration safepoint, so the migrate policy's
+    promotion/demotion machinery is fuzzed differentially too.
     """
 
-    def __init__(self, engine: str) -> None:
+    def __init__(self, engine: str, placement: str = "static") -> None:
         if engine == "oracle":
             engine = "perline"
         if engine not in engine_names():
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
+        self.placement = placement
         self.machine = emulation_platform_spec().build(engine=engine)
-        self.kernel = Kernel(self.machine)
+        self.kernel = Kernel(self.machine, placement=placement)
         self.process = self.kernel.create_process()
         base_bytes = BASE_PAGES * PAGE_SIZE
         self.kernel.mmap_bind(self.process, DRAM_BASE, base_bytes,
@@ -255,6 +277,8 @@ class TraceReplayer:
             self.core_paths[op.thread].drain()
         elif op.kind == "flush":
             self.machine.flush_all(self.core_paths)
+        elif op.kind == "tick":
+            self.kernel.placement_tick()
         else:
             raise ValueError(f"unknown op kind {op.kind!r}")
 
@@ -265,6 +289,8 @@ class TraceReplayer:
             prefix = f"node{node.node_id}"
             snap[f"{prefix}.read_lines"] = node.read_lines
             snap[f"{prefix}.write_lines"] = node.write_lines
+            snap[f"{prefix}.migration_write_lines"] = \
+                node.migration_write_lines
             snap[f"{prefix}.frames_in_use"] = node.frames_in_use
             snap[f"{prefix}.writes_by_tag"] = tuple(
                 sorted(node.writes_by_tag.items()))
@@ -284,14 +310,15 @@ class TraceReplayer:
         kernel = self.kernel
         snap["kernel"] = (kernel.mmap_calls, kernel.munmap_calls,
                           kernel.pages_mapped, kernel.pages_unmapped,
-                          kernel.page_faults)
+                          kernel.page_faults, kernel.pages_migrated,
+                          kernel.migration_writes)
         snap["exceptions"] = tuple(self.exceptions)
         return snap
 
 
 def replay(trace: List[TraceOp], engine: str,
            fault_plan: Optional[FaultPlan] = None,
-           check_every: int = 0
+           check_every: int = 0, placement: str = "static"
            ) -> Tuple[Dict[str, object], List[Violation]]:
     """Replay ``trace`` through registry engine ``engine`` on a fresh
     machine.
@@ -303,8 +330,9 @@ def replay(trace: List[TraceOp], engine: str,
     once at the end); its violations are returned alongside the
     snapshot.  ``fault_plan`` is (re)installed for the duration of the
     replay, arrivals reset, so faults fire identically per engine.
+    ``placement`` selects the replayed process's page-placement policy.
     """
-    replayer = TraceReplayer(engine)
+    replayer = TraceReplayer(engine, placement=placement)
     sanitizer = Sanitizer()
     sanitizer.strict = False
     if fault_plan is not None:
@@ -407,12 +435,14 @@ class DivergenceReport:
     candidate: Dict[str, object]
     reference: Dict[str, object]
     engines: Tuple[str, str] = ("batched", "perline")
+    placement: str = "static"
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "seed": self.seed,
             "trace_ops": self.trace_ops,
             "engines": list(self.engines),
+            "placement": self.placement,
             "keys": self.keys,
             "shrunk": [op.to_dict() for op in self.shrunk],
             "predicate_evals": self.predicate_evals,
@@ -442,6 +472,7 @@ class FuzzResult:
     ops: int
     divergence: Optional[DivergenceReport] = None
     violations: List[Violation] = field(default_factory=list)
+    placement: str = "static"
 
     @property
     def ok(self) -> bool:
@@ -452,6 +483,7 @@ class FuzzResult:
             "seed": self.seed,
             "ops": self.ops,
             "ok": self.ok,
+            "placement": self.placement,
             "divergence": (self.divergence.to_dict()
                            if self.divergence else None),
             "violations": [{"law": v.law, "site": v.site,
@@ -475,6 +507,12 @@ class DifferentialFuzzer:
     check_every:
         Run the invariant sanitizer every N ops during replay
         (0 disables).
+    placement:
+        Kernel page-placement policy for both replays (see
+        :mod:`repro.kernel.placement`).
+    tick_every:
+        Interleave a placement-safepoint ``tick`` op every N generated
+        ops (0 disables; pointless without ``placement="migrate"``).
     """
 
     def __init__(self, ops: int = 2000,
@@ -482,9 +520,15 @@ class DifferentialFuzzer:
                  shrink: bool = True, check_every: int = 64,
                  max_shrink_evals: int = 250,
                  engine: str = "batched",
-                 reference: str = "perline") -> None:
+                 reference: str = "perline",
+                 placement: str = "static",
+                 tick_every: int = 0) -> None:
+        from repro.kernel.placement import placement_names
+
         if ops <= 0:
             raise ValueError("ops must be positive")
+        if tick_every < 0:
+            raise ValueError("tick_every cannot be negative")
         self.ops = ops
         self.fault_plan = fault_plan
         self.shrink = shrink
@@ -495,22 +539,33 @@ class DifferentialFuzzer:
         for name in (self.engine, self.reference):
             if name not in engine_names():
                 raise ValueError(f"unknown engine {name!r}")
+        if placement not in placement_names():
+            raise ValueError(
+                f"unknown placement {placement!r}; choose from "
+                f"{', '.join(placement_names())}")
+        self.placement = placement
+        self.tick_every = tick_every
 
     def run_trial(self, seed: int) -> FuzzResult:
-        trace = generate_trace(seed, self.ops)
+        trace = generate_trace(seed, self.ops, tick_every=self.tick_every)
         candidate, violations_c = replay(trace, self.engine,
-                                         self.fault_plan, self.check_every)
+                                         self.fault_plan, self.check_every,
+                                         placement=self.placement)
         reference, violations_r = replay(trace, self.reference,
-                                         self.fault_plan, self.check_every)
+                                         self.fault_plan, self.check_every,
+                                         placement=self.placement)
         result = FuzzResult(seed=seed, ops=self.ops,
-                            violations=violations_c + violations_r)
+                            violations=violations_c + violations_r,
+                            placement=self.placement)
         keys = diff_snapshots(candidate, reference)
         if not keys:
             return result
 
         def still_fails(shorter: List[TraceOp]) -> bool:
-            snap_c, _ = replay(shorter, self.engine, self.fault_plan)
-            snap_r, _ = replay(shorter, self.reference, self.fault_plan)
+            snap_c, _ = replay(shorter, self.engine, self.fault_plan,
+                               placement=self.placement)
+            snap_r, _ = replay(shorter, self.reference, self.fault_plan,
+                               placement=self.placement)
             return bool(diff_snapshots(snap_c, snap_r))
 
         if self.shrink:
@@ -521,7 +576,8 @@ class DifferentialFuzzer:
         result.divergence = DivergenceReport(
             seed=seed, trace_ops=self.ops, keys=keys, shrunk=shrunk,
             predicate_evals=evals, candidate=candidate,
-            reference=reference, engines=(self.engine, self.reference))
+            reference=reference, engines=(self.engine, self.reference),
+            placement=self.placement)
         return result
 
     def run(self, seed: int = 0, trials: int = 1) -> List[FuzzResult]:

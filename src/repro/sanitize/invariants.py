@@ -19,8 +19,15 @@ violations):
 
 ``write_conservation``
     Lines written to memory nodes == dirty LLC evictions + explicit
-    LLC flush write-backs, as deltas since the machine was first seen
-    (private-cache dirty evictions land in the LLC, not memory).
+    LLC flush write-backs + page-migration copy lines, as deltas since
+    the machine was first seen (private-cache dirty evictions land in
+    the LLC, not memory; migration copies bypass the caches entirely).
+``migration_conservation``
+    Each node's migration-copy line counter never exceeds its total
+    write counter, and the kernel's cumulative ``migration_writes``
+    equals ``pages_migrated`` times the lines per page — a migration
+    either copies a whole page and charges every line, or (when fault
+    injection aborts it) charges nothing.
 ``read_conservation``
     Lines read from memory nodes == LLC demand misses, as deltas.
 ``cache_accounting``
@@ -64,8 +71,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.config import PAGE_SHIFT
 from repro.observability.metrics import METRICS, sanitize
 from repro.observability.trace import TRACER
+
+#: Cache lines per page — the per-page charge of one migration copy.
+_LINES_PER_PAGE = 1 << (PAGE_SHIFT - 6)
 
 
 class InvariantViolation(AssertionError):
@@ -171,6 +182,8 @@ class Sanitizer:
             "node_reads": sum(n.read_lines for n in machine.nodes),
             "write_sources": _machine_write_sources(machine),
             "read_sources": _machine_read_sources(machine),
+            "migration_lines": sum(n.migration_write_lines
+                                   for n in machine.nodes),
         }
         self._machine_base[machine] = base
         return base
@@ -188,11 +201,22 @@ class Sanitizer:
         writes = sum(n.write_lines for n in machine.nodes) \
             - base["node_writes"]
         sources = _machine_write_sources(machine) - base["write_sources"]
-        if writes != sources:
+        migrated = sum(n.migration_write_lines for n in machine.nodes) \
+            - base["migration_lines"]
+        if writes != sources + migrated:
             self._flag("write_conservation", site,
                        f"node write lines ({writes}) != dirty evictions + "
-                       f"flush write-backs ({sources})",
-                       node_writes=writes, write_sources=sources)
+                       f"flush write-backs ({sources}) + migration copies "
+                       f"({migrated})",
+                       node_writes=writes, write_sources=sources,
+                       migration_lines=migrated)
+        for node in machine.nodes:
+            if not 0 <= node.migration_write_lines <= node.write_lines:
+                self._flag("migration_conservation", site,
+                           f"node {node.node_id}: "
+                           f"{node.migration_write_lines} migration copy "
+                           f"lines exceed {node.write_lines} total write "
+                           f"lines", node=node.node_id)
         reads = sum(n.read_lines for n in machine.nodes) - base["node_reads"]
         misses = _machine_read_sources(machine) - base["read_sources"]
         if reads != misses:
@@ -272,6 +296,14 @@ class Sanitizer:
                        f"pages_mapped - pages_unmapped = {live} but "
                        f"{mapped_total} pages are live",
                        counter_live=live, mapped=mapped_total)
+        expected = kernel.pages_migrated * _LINES_PER_PAGE
+        if kernel.migration_writes != expected:
+            self._flag("migration_conservation", site,
+                       f"{kernel.migration_writes} migration write lines "
+                       f"but {kernel.pages_migrated} pages migrated "
+                       f"(expected {expected}; migrations must be atomic)",
+                       migration_writes=kernel.migration_writes,
+                       pages_migrated=kernel.pages_migrated)
 
     def _check_tlbs(self, process, site: str) -> None:
         table = process.page_table

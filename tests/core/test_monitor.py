@@ -153,3 +153,50 @@ class TestRateSeries:
         monitor = WriteRateMonitor(kernel)
         monitor.shutdown()
         assert kernel.machine.nodes[0].frames_in_use == 0
+
+
+class TestMigrationSplit:
+    """Page-migration copies are device traffic, not mutator writes;
+    the default series must not report them as application write rate."""
+
+    def _mixed_interval(self, monitor, kernel):
+        node = kernel.machine.nodes[1]
+        monitor.sample(0)
+        for _ in range(1000):
+            node.record_write(0)           # mutator write-backs
+        for _ in range(500):
+            node.record_migration_write(0)  # OS page-copy traffic
+        monitor.sample(1)
+
+    def test_default_series_is_mutator_only(self, monitor, kernel):
+        self._mixed_interval(monitor, kernel)
+        rates = monitor.write_rate_series(1_000_000, 1e9)
+        # 1000 mutator lines * 64 B over 1 ms = 64 MB/s; the 500
+        # migration lines must not inflate it to 96.
+        assert rates == [pytest.approx(64.0)]
+
+    def test_include_migrations_gives_device_rate(self, monitor, kernel):
+        self._mixed_interval(monitor, kernel)
+        rates = monitor.write_rate_series(1_000_000, 1e9,
+                                          include_migrations=True)
+        # All 1500 lines: the raw rate the wear model sees.
+        assert rates == [pytest.approx(96.0)]
+
+    def test_samples_capture_migration_counters(self, monitor, kernel):
+        kernel.machine.nodes[1].record_migration_write(0)
+        sample = monitor.sample(0)
+        assert sample.node_migration_writes[1] == 1
+
+    def test_legacy_samples_without_migration_field(self, monitor, kernel):
+        # Samples recorded before the field existed deserialise with an
+        # empty list; the subtraction must treat them as zero, not
+        # crash or misalign the series.
+        node = kernel.machine.nodes[1]
+        monitor.sample(0)
+        for _ in range(1000):
+            node.record_write(0)
+        monitor.sample(1)
+        for sample in monitor.samples:
+            sample.node_migration_writes = []
+        rates = monitor.write_rate_series(1_000_000, 1e9)
+        assert rates == [pytest.approx(64.0)]

@@ -8,6 +8,7 @@ import pytest
 from repro.core.platform import EmulationMode, MeasurementResult
 from repro.harness.checkpoint import (
     CHECKPOINT_SCHEMA,
+    CheckpointMismatch,
     SweepCheckpoint,
     repair_jsonl_tail,
     result_from_dict,
@@ -101,6 +102,73 @@ class TestCheckpointStore:
         store.append(_key(), _result())
         store.truncate()
         assert SweepCheckpoint(path).load() == {}
+
+
+class TestHeaderStamp:
+    """Checkpoints record the engine/placement that produced them; a
+    resume under a different configuration must fail loudly instead of
+    merging incomparable counters."""
+
+    def test_stamp_round_trips(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path, engine="columnar",
+                                placement="migrate")
+        store.append(_key(), _result())
+        loader = SweepCheckpoint(path, engine="columnar",
+                                 placement="migrate")
+        assert list(loader.load()) == [_key()]
+
+    def test_engine_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        SweepCheckpoint(path, engine="columnar",
+                        placement="static").append(_key(), _result())
+        with pytest.raises(CheckpointMismatch, match="engine"):
+            SweepCheckpoint(path, engine="batched",
+                            placement="static").load()
+
+    def test_placement_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        SweepCheckpoint(path, engine="batched",
+                        placement="migrate").append(_key(), _result())
+        with pytest.raises(CheckpointMismatch, match="placement"):
+            SweepCheckpoint(path, engine="batched",
+                            placement="static").load()
+
+    def test_unstamped_loader_accepts_any_header(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        SweepCheckpoint(path, engine="columnar",
+                        placement="migrate").append(_key(), _result())
+        assert list(SweepCheckpoint(path).load()) == [_key()]
+
+    def test_headerless_legacy_file_still_loads(self, tmp_path):
+        # Files written before the stamp existed carry no header
+        # record; a stamped loader must accept them (nothing to
+        # contradict), not invent a mismatch.
+        path = str(tmp_path / "ckpt.jsonl")
+        SweepCheckpoint(path).append(_key(), _result())
+        loader = SweepCheckpoint(path, engine="batched",
+                                 placement="static")
+        assert list(loader.load()) == [_key()]
+
+    def test_truncate_restamps(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = SweepCheckpoint(path, engine="batched",
+                                placement="interleave")
+        store.append(_key(), _result())
+        store.truncate()
+        with pytest.raises(CheckpointMismatch):
+            SweepCheckpoint(path, engine="batched",
+                            placement="static").load()
+
+    def test_key_placement_round_trips(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        key = RunKey("fop", "KG-N", 1, "default",
+                     EmulationMode.EMULATION, placement="migrate")
+        store = SweepCheckpoint(path)
+        store.append(key, _result())
+        restored = SweepCheckpoint(path).load()
+        assert list(restored) == [key]
+        assert list(restored)[0].placement == "migrate"
 
 
 class TestTornTailSalvage:

@@ -112,6 +112,52 @@ class TestFuzzer:
             DifferentialFuzzer(ops=0)
 
 
+class TestMigratePlacementFuzz:
+    """The migrate policy under the differential oracle: ticks inserted
+    into the trace, every engine migrating identically."""
+
+    def test_tick_insertion_preserves_base_trace(self):
+        base = generate_trace(9, 200)
+        ticked = generate_trace(9, 200, tick_every=50)
+        # Historical traces stay byte-identical; ticks are a post-pass.
+        assert [op for op in ticked if op.kind != "tick"] == base
+        assert sum(1 for op in ticked if op.kind == "tick") == 4
+
+    def test_tick_every_zero_inserts_nothing(self):
+        assert generate_trace(9, 200, tick_every=0) == generate_trace(9, 200)
+
+    def test_engines_agree_under_migrate_with_ticks(self):
+        trace = generate_trace(13, 800, tick_every=64)
+        batched, violations_b = replay(trace, "batched", check_every=64,
+                                       placement="migrate")
+        oracle, violations_o = replay(trace, "oracle", check_every=64,
+                                      placement="migrate")
+        assert diff_snapshots(batched, oracle) == []
+        assert violations_b == [] and violations_o == []
+
+    def test_migrate_snapshot_tracks_migration_counters(self):
+        trace = generate_trace(13, 800, tick_every=64)
+        snapshot, _ = replay(trace, "batched", placement="migrate")
+        assert "node0.migration_write_lines" in snapshot
+        assert "node1.migration_write_lines" in snapshot
+        # kernel tuple: (..., pages_migrated, migration_writes)
+        pages_migrated, migration_writes = snapshot["kernel"][-2:]
+        assert migration_writes == pages_migrated * (PAGE_SIZE // 64)
+
+    def test_fuzzer_accepts_placement_and_ticks(self):
+        fuzzer = DifferentialFuzzer(ops=600, check_every=64,
+                                    placement="migrate", tick_every=48)
+        result = fuzzer.run_trial(0)
+        assert result.ok
+        assert result.to_dict()["placement"] == "migrate"
+
+    def test_fuzzer_rejects_bad_placement_and_tick(self):
+        with pytest.raises(ValueError):
+            DifferentialFuzzer(ops=100, placement="bogus")
+        with pytest.raises(ValueError):
+            DifferentialFuzzer(ops=100, tick_every=-1)
+
+
 class TestPlantedBugs:
     def test_short_block_bug_is_caught_and_shrunk(self):
         with planted_bug("short-block"):
