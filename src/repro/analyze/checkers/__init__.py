@@ -12,11 +12,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.analyze.engine import Checker, Finding
+from repro.analyze.checkers.asyncsafety import AsyncSafetyChecker
 from repro.analyze.checkers.counters import CounterDisciplineChecker
 from repro.analyze.checkers.determinism import DeterminismChecker
 from repro.analyze.checkers.hooks import HookCoverageChecker
 from repro.analyze.checkers.layering import LayeringChecker
+from repro.analyze.checkers.parity import EngineParityChecker
 from repro.analyze.checkers.races import RacePatternChecker
+from repro.analyze.checkers.spans import SpanBalanceChecker
 
 ALL_CHECKERS: Tuple[Type[Checker], ...] = (
     LayeringChecker,
@@ -24,6 +27,9 @@ ALL_CHECKERS: Tuple[Type[Checker], ...] = (
     CounterDisciplineChecker,
     HookCoverageChecker,
     RacePatternChecker,
+    AsyncSafetyChecker,
+    SpanBalanceChecker,
+    EngineParityChecker,
 )
 
 

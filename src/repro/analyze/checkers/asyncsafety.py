@@ -1,0 +1,226 @@
+"""Async-safety checker (A001, A002, A003) — interprocedural.
+
+The serve layer is a single asyncio event loop: one blocking call in a
+coroutine stalls every in-flight request, deadline timer, and circuit
+breaker at once.  Worse, blocking work is usually hidden one or two
+sync helpers away from the ``async def`` — which is why these rules run
+on the project call graph, not on single files.
+
+``A001`` — a blocking call (``time.sleep``, ``subprocess.*``, sync
+file/socket I/O, ``Executor.shutdown(wait=True)``) directly inside an
+``async def`` in an async package (``async-packages`` policy).
+
+``A002`` — an ``async def`` calls a *sync* project function that
+transitively reaches a blocking call.  Only provable call-graph edges
+are followed (see :mod:`repro.analyze.graph`), so every reported chain
+is a real path; work handed to ``run_in_executor`` passes function
+references, not calls, and is naturally exempt.
+
+``A003`` — fork-after-thread hazard in an async package: creating a
+``ProcessPoolExecutor``/``multiprocessing.Pool`` without an
+``initializer=`` (the PR 8 phantom-SIGTERM bug: a forked worker
+inherits the parent's signal handlers and event-loop state unless the
+initializer resets them), or calling ``os.fork`` outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from repro.analyze.engine import Checker, Finding, ModuleUnderAnalysis
+from repro.analyze.graph import FunctionInfo, ProjectContext
+
+#: Exact dotted names that block the calling thread.
+BLOCKING_EXACT = frozenset({
+    "time.sleep",
+    "open", "io.open",
+    "os.fsync", "os.fdatasync",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+})
+
+#: Dotted prefixes that block (every subprocess entry point does).
+BLOCKING_PREFIXES = ("subprocess.",)
+
+#: Method names that are sync I/O on any plausible receiver.
+BLOCKING_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+#: Pool constructors that must carry an ``initializer=`` in async code.
+FORK_POOLS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "ProcessPoolExecutor",
+    "multiprocessing.Pool",
+})
+
+#: Transitive-chain depth cap: deep enough for any real helper stack,
+#: small enough to bound pathological graphs.
+MAX_CHAIN_DEPTH = 10
+
+
+def blocking_marker(module: ModuleUnderAnalysis,
+                    call: ast.Call) -> Optional[str]:
+    """Label of the blocking operation ``call`` performs, if any."""
+    dotted = module.dotted_name(call.func)
+    if dotted is not None:
+        if dotted in BLOCKING_EXACT:
+            return dotted
+        if any(dotted.startswith(p) for p in BLOCKING_PREFIXES):
+            return dotted
+    if isinstance(call.func, ast.Attribute):
+        if call.func.attr in BLOCKING_METHODS:
+            return f".{call.func.attr}"
+        if call.func.attr == "shutdown":
+            for kw in call.keywords:
+                if kw.arg == "wait" and isinstance(kw.value, ast.Constant) \
+                        and kw.value.value is True:
+                    return "shutdown(wait=True)"
+    return None
+
+
+def _own_calls(info: FunctionInfo) -> List[ast.Call]:
+    """Every call lexically inside the function, skipping nested defs."""
+    calls: List[ast.Call] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            walk(child)
+
+    walk(info.node)
+    return calls
+
+
+class AsyncSafetyChecker(Checker):
+    name = "asyncsafety"
+    rules = {
+        "A001": "blocking call directly inside an async def in an "
+                "async package",
+        "A002": "async def calls a sync function that transitively "
+                "reaches a blocking call",
+        "A003": "fork-after-thread hazard: process pool without an "
+                "initializer=, or os.fork, in an async package",
+    }
+
+    def finish_project(self, project: ProjectContext
+                       ) -> Optional[List[Finding]]:
+        findings: List[Finding] = []
+        #: fid -> blocking chain (qualnames ending in a marker), or
+        #: None once proven clean; computed lazily with memoization.
+        memo: Dict[str, Optional[List[str]]] = {}
+        for fid, info in sorted(project.index.functions.items()):
+            if not project.config.is_async_package(info.module):
+                continue
+            symbols = project.index.modules[info.module]
+            if info.is_async:
+                findings.extend(self._check_async(project, symbols.module,
+                                                  info, memo))
+            findings.extend(self._check_fork(symbols.module, info))
+        return findings or None
+
+    # -- A001 / A002 ---------------------------------------------------
+    def _check_async(self, project: ProjectContext,
+                     module: ModuleUnderAnalysis, info: FunctionInfo,
+                     memo: Dict[str, Optional[List[str]]]
+                     ) -> List[Finding]:
+        findings: List[Finding] = []
+        for call in _own_calls(info):
+            marker = blocking_marker(module, call)
+            if marker is not None:
+                findings.append(self._finding(
+                    "A001", module, info, call,
+                    f"blocking call '{marker}' inside async def "
+                    f"'{info.qualname}' stalls the event loop; use "
+                    f"asyncio equivalents or run_in_executor",
+                    token=f"{info.qualname}:{marker}"))
+        for edge in project.graph.callees(info.fid):
+            callee = project.index.functions.get(edge.callee)
+            if callee is None or callee.is_async:
+                continue
+            chain = self._blocking_chain(project, edge.callee, memo,
+                                         depth=0)
+            if chain:
+                path = " -> ".join([info.qualname] + chain)
+                findings.append(Finding(
+                    rule="A002", path=module.display_path,
+                    line=edge.lineno, col=0,
+                    message=f"async def '{info.qualname}' reaches "
+                            f"blocking call via {path}; move the sync "
+                            f"work behind run_in_executor",
+                    key=f"A002::{info.module}::"
+                        f"{info.qualname}:{callee.qualname}",
+                    symbol=info.qualname))
+        return findings
+
+    def _blocking_chain(self, project: ProjectContext, fid: str,
+                        memo: Dict[str, Optional[List[str]]],
+                        depth: int) -> Optional[List[str]]:
+        if fid in memo:
+            return memo[fid]
+        if depth >= MAX_CHAIN_DEPTH:
+            return None
+        memo[fid] = None  # cycle guard: in-progress counts as clean
+        info = project.index.functions.get(fid)
+        if info is None or info.is_async:
+            return None
+        symbols = project.index.modules.get(info.module)
+        if symbols is None:
+            return None
+        for call in _own_calls(info):
+            marker = blocking_marker(symbols.module, call)
+            if marker is not None:
+                memo[fid] = [info.qualname, marker]
+                return memo[fid]
+        for edge in project.graph.callees(fid):
+            sub = self._blocking_chain(project, edge.callee, memo,
+                                       depth + 1)
+            if sub:
+                memo[fid] = [info.qualname] + sub
+                return memo[fid]
+        return None
+
+    # -- A003 ----------------------------------------------------------
+    def _check_fork(self, module: ModuleUnderAnalysis,
+                    info: FunctionInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for call in _own_calls(info):
+            dotted = module.dotted_name(call.func)
+            if dotted is None:
+                continue
+            if dotted == "os.fork":
+                findings.append(self._finding(
+                    "A003", module, info, call,
+                    f"os.fork in '{info.qualname}': forking with an "
+                    f"event loop running inherits live handlers and "
+                    f"loop state",
+                    token=f"{info.qualname}:os.fork"))
+            elif dotted in FORK_POOLS:
+                if not any(kw.arg == "initializer"
+                           for kw in call.keywords):
+                    findings.append(self._finding(
+                        "A003", module, info, call,
+                        f"'{dotted}' created without initializer= in "
+                        f"'{info.qualname}'; forked workers inherit "
+                        f"the parent's signal handlers (phantom-"
+                        f"SIGTERM class of bug)",
+                        token=f"{info.qualname}:{dotted}"))
+        return findings
+
+    @staticmethod
+    def _finding(rule: str, module: ModuleUnderAnalysis,
+                 info: FunctionInfo, node: ast.AST, message: str,
+                 token: str) -> Finding:
+        return Finding(
+            rule=rule, path=module.display_path,
+            line=getattr(node, "lineno", info.lineno),
+            col=getattr(node, "col_offset", -1) + 1,
+            message=message,
+            key=f"{rule}::{info.module}::{token}",
+            symbol=info.qualname,
+        )

@@ -25,6 +25,15 @@ Policy pieces:
   object's private attributes (``RC01``'s ownership protocol).
 * **hook_sites** — state-mutating operations that must carry their
   FAULTS / SANITIZE hook pair (``H001``).
+* **async_packages** — packages whose ``async def`` bodies must never
+  (transitively) reach blocking calls (``A001``/``A002``).
+* **parity_groups** — named groups of engine classes whose public
+  method surfaces must stay in lock-step (``P001``/``P002``).
+* **test_paths / test_select** — extra trees the CLI lints with a
+  restricted rule set (D-rules: unseeded RNG and wall-clock use in
+  tests is a flakiness source).
+* **exclude** — path prefixes dropped from the *test_paths* sweep
+  (the planted lint fixtures are deliberate violations).
 """
 
 from __future__ import annotations
@@ -153,6 +162,41 @@ DEFAULT_HOOK_SITES: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
     ("repro.serve.jobstore", "JobStore.store_result", ("faults",)),
 )
 
+#: Packages whose coroutines run on the serve event loop: blocking
+#: calls reachable from an ``async def`` here stall every in-flight
+#: request (PR 8's phantom-SIGTERM bug came from exactly this class of
+#: mistake).
+DEFAULT_ASYNC_PACKAGES: Tuple[str, ...] = ("repro.serve",)
+
+#: Engine API-parity groups: each group names classes (by
+#: ``module::QualName``) whose *public* method names and arities must
+#: match, so the perline/batched/columnar/jit engines cannot drift as
+#: new engines land.  CacheStats is the shared stats struct and the
+#: perline CacheLevel is the reference; ColumnarCacheLevel overrides
+#: its whole surface.  CorePath (perline+batched fused loops) pairs
+#: with ColumnarCorePath.
+DEFAULT_PARITY_GROUPS: Dict[str, List[str]] = {
+    "engine-cache": [
+        "repro.machine.cache::CacheLevel",
+        "repro.machine.colcache::ColumnarCacheLevel",
+    ],
+    "engine-core": [
+        "repro.machine.numa::CorePath",
+        "repro.machine.colengine::ColumnarCorePath",
+    ],
+}
+
+#: Extra trees linted with the restricted ``test_select`` rule set.
+DEFAULT_TEST_PATHS: Tuple[str, ...] = ("tests", "benchmarks")
+
+#: Rules applied to the test trees (determinism family only — layering
+#: and counter discipline do not apply to test code).
+DEFAULT_TEST_SELECT: Tuple[str, ...] = ("D001", "D002", "D003", "D004")
+
+#: Path prefixes excluded from the test-tree sweep: the lint fixtures
+#: are planted violations and must not be re-reported.
+DEFAULT_EXCLUDE: Tuple[str, ...] = ("tests/analyze/fixtures",)
+
 
 @dataclass
 class LintConfig:
@@ -177,6 +221,17 @@ class LintConfig:
     hook_sites: List[Tuple[str, str, Tuple[str, ...]]] = field(
         default_factory=lambda: [(m, q, tuple(h))
                                  for m, q, h in DEFAULT_HOOK_SITES])
+    async_packages: List[str] = field(
+        default_factory=lambda: list(DEFAULT_ASYNC_PACKAGES))
+    parity_groups: Dict[str, List[str]] = field(
+        default_factory=lambda: {k: list(v)
+                                 for k, v in DEFAULT_PARITY_GROUPS.items()})
+    test_paths: List[str] = field(
+        default_factory=lambda: list(DEFAULT_TEST_PATHS))
+    test_select: List[str] = field(
+        default_factory=lambda: list(DEFAULT_TEST_SELECT))
+    exclude: List[str] = field(
+        default_factory=lambda: list(DEFAULT_EXCLUDE))
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -207,6 +262,9 @@ class LintConfig:
 
     def is_engine_function(self, module: str, qualname: str) -> bool:
         return f"{module}::{qualname}" in self.engine_functions
+
+    def is_async_package(self, module: str) -> bool:
+        return self._matches_any(module, self.async_packages)
 
 
 def load_config(pyproject: Optional[Path] = None) -> LintConfig:
@@ -245,7 +303,11 @@ def merge_table(config: LintConfig, table: Dict[str, object]) -> LintConfig:
                       ("paths", "paths"),
                       ("counter-mutators", "counter_mutators"),
                       ("engine-functions", "engine_functions"),
-                      ("crosscutting", "crosscutting"), ("hot", "hot")):
+                      ("crosscutting", "crosscutting"), ("hot", "hot"),
+                      ("async-packages", "async_packages"),
+                      ("test-paths", "test_paths"),
+                      ("test-select", "test_select"),
+                      ("exclude", "exclude")):
         value = str_list(key)
         if value is not None:
             setattr(config, attr, value)
@@ -260,6 +322,11 @@ def merge_table(config: LintConfig, table: Dict[str, object]) -> LintConfig:
         config.counters = {str(k): [str(c) for c in v]
                            for k, v in counters.items()
                            if isinstance(v, list)}
+    parity = table.get("parity-groups")
+    if isinstance(parity, dict):
+        config.parity_groups = {str(k): [str(c) for c in v]
+                                for k, v in parity.items()
+                                if isinstance(v, list)}
     hooks = table.get("hook-sites")
     if isinstance(hooks, list):
         parsed = []

@@ -21,9 +21,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 from repro.analyze.config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analyze.graph import ProjectContext
 
 #: Rule id for files the engine cannot parse.
 PARSE_ERROR_RULE = "E000"
@@ -68,7 +72,9 @@ def module_name_for(path: Path) -> str:
     ``src/repro/machine/numa.py`` and a test fixture at
     ``fixtures/planted/repro/machine/bad.py`` resolve to
     ``repro.machine.*`` — which is what lets fixtures exercise
-    layer-sensitive rules by mirroring the real tree.
+    layer-sensitive rules by mirroring the real tree.  Paths without a
+    ``repro`` component anchor at ``tests``/``benchmarks`` instead
+    (those trees are linted for D-rules), else fall back to the stem.
     """
     parts = list(path.parts)
     parts[-1] = path.stem
@@ -78,6 +84,10 @@ def module_name_for(path: Path) -> str:
     for index, part in enumerate(parts):
         if part == "repro":
             anchor = index
+    if anchor < 0:
+        for index, part in enumerate(parts):
+            if part in ("tests", "benchmarks"):
+                anchor = index
     if anchor < 0:
         return parts[-1] if parts else "<unknown>"
     return ".".join(parts[anchor:])
@@ -150,6 +160,9 @@ class ScopeContext:
 
     module: ModuleUnderAnalysis
     config: LintConfig
+    #: Project-wide symbol table + call graph (second pass); ``None``
+    #: in single-file mode (``Analyzer.run_file``).
+    project: Optional["ProjectContext"] = None
     class_stack: List[str] = field(default_factory=list)
     func_stack: List[str] = field(default_factory=list)
     #: Names aliasing ``self`` or ``self.<attr>`` in the innermost
@@ -228,6 +241,15 @@ class Checker:
     def finish_module(self, ctx: ScopeContext) -> Optional[List[Finding]]:
         return None
 
+    def finish_project(self, project: "ProjectContext"
+                       ) -> Optional[List[Finding]]:
+        """Interprocedural phase: runs once after every file was walked.
+
+        Only invoked by :meth:`Analyzer.run` (which builds the project
+        context); single-file ``run_file`` never reaches it.
+        """
+        return None
+
 
 class _Walker:
     """Single shared walk with scope maintenance and dispatch tables."""
@@ -245,8 +267,10 @@ class _Walker:
                     self.dispatch.setdefault(attr[6:], []).append(
                         getattr(checker, attr))
 
-    def run(self, module: ModuleUnderAnalysis) -> List[Finding]:
-        ctx = ScopeContext(module=module, config=self.config)
+    def run(self, module: ModuleUnderAnalysis,
+            project: Optional["ProjectContext"] = None) -> List[Finding]:
+        ctx = ScopeContext(module=module, config=self.config,
+                           project=project)
         findings: List[Finding] = []
         for checker in self.checkers:
             found = checker.begin_module(ctx)
@@ -345,6 +369,12 @@ class AnalysisReport:
 
     findings: List[Finding]
     files_scanned: int
+    #: Module names parsed into the project index this run — the scope
+    #: within which baseline entries can be judged stale.
+    scanned_modules: List[str] = field(default_factory=list)
+    #: In focus (``--changed``) mode: how many files were actually
+    #: walked after the reverse-importer closure; ``None`` otherwise.
+    files_walked: Optional[int] = None
 
     def sorted(self) -> List[Finding]:
         return sorted(self.findings,
@@ -381,27 +411,68 @@ class Analyzer:
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
-    def run(self, paths: Iterable[Path]) -> AnalysisReport:
+    def run(self, paths: Iterable[Path],
+            focus: Optional[Iterable[Path]] = None) -> AnalysisReport:
+        """Analyze ``paths``; with ``focus``, walk only the focus files
+        plus their reverse importers (parse everything regardless, so
+        the project index and call graph stay whole-program).
+        """
         findings: List[Finding] = []
         files = self.collect(paths)
+        modules: List[ModuleUnderAnalysis] = []
         for file in files:
-            findings.extend(self.run_file(file))
-        return AnalysisReport(findings=findings, files_scanned=len(files))
+            module, error = self._parse(file)
+            if error is not None:
+                findings.append(error)
+            if module is not None:
+                modules.append(module)
+        # Imported lazily: graph.py imports from this module.
+        from repro.analyze.graph import build_project
+        project = build_project(modules, self.config)
+        focus_names: Optional[set] = None
+        if focus is not None:
+            seeds = {module_name_for(Path(p)) for p in focus}
+            focus_names = project.index.reverse_importers(seeds)
+        walked = 0
+        for module in modules:
+            if focus_names is not None and module.name not in focus_names:
+                continue
+            walked += 1
+            findings.extend(self._walker.run(module, project))
+        for checker in self.checkers:
+            found = checker.finish_project(project)
+            if found:
+                findings.extend(found)
+        if focus_names is not None:
+            findings = [f for f in findings
+                        if f.key.split("::", 2)[1] in focus_names]
+        return AnalysisReport(
+            findings=findings, files_scanned=len(files),
+            scanned_modules=[m.name for m in modules],
+            files_walked=walked if focus_names is not None else None)
 
     def run_file(self, path: Path) -> List[Finding]:
+        """Single-file mode: per-file checkers only, no project pass."""
+        module, error = self._parse(path)
+        if error is not None:
+            return [error]
+        assert module is not None
+        return self._walker.run(module)
+
+    def _parse(self, path: Path) -> Tuple[Optional[ModuleUnderAnalysis],
+                                          Optional[Finding]]:
         display = _display_path(path)
         try:
             source = path.read_text(encoding="utf-8")
             tree = ast.parse(source, filename=str(path))
         except (OSError, SyntaxError, ValueError) as exc:
             line = getattr(exc, "lineno", 0) or 0
-            return [Finding(
+            return None, Finding(
                 rule=PARSE_ERROR_RULE, path=display, line=line, col=0,
                 message=f"cannot analyze file: {exc}",
                 key=f"{PARSE_ERROR_RULE}::{module_name_for(path)}::parse",
-            )]
-        module = ModuleUnderAnalysis(path, tree, display)
-        return self._walker.run(module)
+            )
+        return ModuleUnderAnalysis(path, tree, display), None
 
 
 def _display_path(path: Path) -> str:

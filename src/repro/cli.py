@@ -244,12 +244,21 @@ def _build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint", help="run the project's static-analysis checkers "
                      "(layering, determinism, counter-discipline, "
-                     "hook-coverage, race-pattern)")
+                     "hook-coverage, race-pattern, async-safety, "
+                     "span-balance, engine-parity)")
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to scan (default: "
                            "the [tool.repro-lint] paths, i.e. src/repro)")
     lint.add_argument("--json", action="store_true",
                       help="emit a machine-readable report instead of text")
+    lint.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                      metavar="REF",
+                      help="incremental mode: lint only files changed vs "
+                           "REF (default HEAD) plus their reverse "
+                           "importers via the project call graph")
+    lint.add_argument("--check-stale", action="store_true",
+                      help="also fail (exit 1) when the baseline holds "
+                           "stale entries for scanned modules")
     lint.add_argument("--baseline", default=None, metavar="PATH",
                       help="baseline file of justified suppressions "
                            "(default: from [tool.repro-lint]; 'none' "
@@ -650,6 +659,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_changed_files(ref: str) -> Optional[List[str]]:
+    """``.py`` files changed vs ``ref`` plus untracked ones; ``None``
+    when git cannot answer (not a repo, bad ref)."""
+    import subprocess
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True, text=True, check=True)
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names = diff.stdout.splitlines() + untracked.stdout.splitlines()
+    return sorted({n for n in names if n.endswith(".py")})
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -670,6 +696,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    focus: Optional[List[Path]] = None
+    if args.changed is not None:
+        if args.write_baseline:
+            print("error: --write-baseline needs a full scan, not "
+                  "--changed", file=sys.stderr)
+            return 2
+        changed = _git_changed_files(args.changed)
+        if changed is None:
+            print(f"error: git could not diff against "
+                  f"'{args.changed}'", file=sys.stderr)
+            return 2
+        if not changed:
+            print(f"0 files changed vs {args.changed}; nothing to lint")
+            return 0
+        focus = [Path(name) for name in changed]
+
     def split(values: Optional[List[str]],
               fallback: List[str]) -> List[str]:
         if values is None:
@@ -684,8 +726,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     ignore = split(args.ignore, config.ignore)
 
     analyzer = Analyzer(make_checkers(), config=config)
-    report = analyzer.run(paths)
+    report = analyzer.run(paths, focus=focus)
     findings = filter_findings(report.sorted(), select, ignore)
+    files_scanned = report.files_scanned
+    scanned_modules = set(report.scanned_modules)
+
+    # Test trees get the restricted rule set (D-rules by default) in a
+    # separate project scope, minus the planted lint fixtures.  Only on
+    # full default-path runs: explicit paths and --changed mean the
+    # caller picked the scope.
+    if not args.paths and focus is None and config.test_paths:
+        test_roots = [Path(p) for p in config.test_paths if Path(p).is_dir()]
+        test_files = [
+            f for f in Analyzer.collect(test_roots)
+            if not any(f.as_posix().startswith(prefix.rstrip("/") + "/")
+                       or f.as_posix() == prefix.rstrip("/")
+                       for prefix in config.exclude)]
+        if test_files:
+            aux_report = Analyzer(make_checkers(),
+                                  config=config).run(test_files)
+            aux = filter_findings(aux_report.sorted(),
+                                  config.test_select, [])
+            findings = findings + filter_findings(aux, select, ignore)
+            files_scanned += aux_report.files_scanned
+            scanned_modules.update(aux_report.scanned_modules)
 
     baseline_path: Optional[Path] = None
     if args.baseline != "none":
@@ -703,12 +767,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             except BaselineError:
                 pass  # rewrite a broken baseline from scratch
         fresh = Baseline.from_findings(findings)
+        # Entries for modules outside this scan's scope are preserved
+        # (a partial-path run must not nuke the rest of the baseline);
+        # entries for scanned modules that no longer fire are pruned.
+        preserved = {key: reason for key, reason in old.entries.items()
+                     if key.split("::", 2)[1] not in scanned_modules}
+        pruned = [key for key in old.entries
+                  if key not in fresh.entries and key not in preserved]
         # Keep reviewed reasons for keys that are still firing.
         for key in fresh.entries:
             if key in old.entries and old.entries[key] != TODO_REASON:
                 fresh.entries[key] = old.entries[key]
+        fresh.entries.update(preserved)
         fresh.save(baseline_path)
-        print(f"wrote {len(fresh.entries)} entries to {baseline_path}")
+        print(f"wrote {len(fresh.entries)} entries to {baseline_path} "
+              f"({len(pruned)} stale pruned, "
+              f"{len(preserved)} out-of-scope preserved)")
+        for key in pruned:
+            print(f"  pruned: {key}")
         return 0
 
     baseline = Baseline()
@@ -719,17 +795,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     unsuppressed, suppressed, stale = baseline.apply(findings)
+    # A baseline key can only be judged stale if its module was in
+    # scope this run; --changed walks a focus subset, so staleness is
+    # undecidable there and skipped entirely.
+    if focus is not None:
+        stale = []
+    else:
+        stale = [key for key in stale
+                 if key.split("::", 2)[1] in scanned_modules]
+    failed = bool(unsuppressed) or (args.check_stale and bool(stale))
 
     if args.json:
         print(json.dumps({
             "tool": "repro-lint",
-            "files_scanned": report.files_scanned,
+            "files_scanned": files_scanned,
+            "files_walked": report.files_walked,
             "findings": [f.to_dict() for f in unsuppressed],
             "suppressed": [f.to_dict() for f in suppressed],
             "stale_baseline_keys": stale,
-            "exit": 1 if unsuppressed else 0,
+            "exit": 1 if failed else 0,
         }, indent=2))
-        return 1 if unsuppressed else 0
+        return 1 if failed else 0
 
     for finding in unsuppressed:
         print(finding.render())
@@ -739,11 +825,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               f"(no longer firing):")
         for key in stale:
             print(f"  {key}")
-    summary = (f"{report.files_scanned} files scanned, "
-               f"{len(unsuppressed)} finding(s), "
-               f"{len(suppressed)} baselined")
+        if args.check_stale:
+            print("(--check-stale: failing on stale baseline entries; "
+                  "run --write-baseline to prune)")
+    if focus is not None:
+        summary = (f"{report.files_walked} of {files_scanned} files "
+                   f"walked (--changed {args.changed}), "
+                   f"{len(unsuppressed)} finding(s), "
+                   f"{len(suppressed)} baselined")
+    else:
+        summary = (f"{files_scanned} files scanned, "
+                   f"{len(unsuppressed)} finding(s), "
+                   f"{len(suppressed)} baselined")
     print(summary)
-    return 1 if unsuppressed else 0
+    return 1 if failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

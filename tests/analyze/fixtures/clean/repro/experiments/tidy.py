@@ -36,11 +36,22 @@ def total(items: set) -> int:
 class CacheLevel:
     def __init__(self) -> None:
         self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.flushed_dirty = 0
         self._lines = {}
 
     def record(self) -> None:
         self.hits += 1
         self._lines[0] = 1
+
+    def miss(self, dirty: bool) -> None:
+        self.misses += 1
+        self.evictions += 1
+        if dirty:
+            self.dirty_evictions += 1
+            self.flushed_dirty += 1
 
 
 def touch() -> object:

@@ -1,0 +1,31 @@
+"""Clean span fixture: every exception-safe balance form S001 accepts.
+
+try/finally, the context-manager form, and the platform's unwind idiom
+(pop in a catch-all handler plus the normal-path pop).
+"""
+
+from repro.observability.trace import TRACER
+
+
+def balanced(work) -> None:
+    frame = TRACER.push("harness.balanced")
+    try:
+        work()
+    finally:
+        TRACER.pop(frame)
+
+
+def managed(work) -> None:
+    with TRACER.span("harness.managed"):
+        work()
+
+
+def unwound(work) -> int:
+    frame = TRACER.push("harness.unwound")
+    try:
+        result = work()
+    except BaseException:
+        TRACER.pop(frame, error=True)
+        raise
+    TRACER.pop(frame)
+    return result

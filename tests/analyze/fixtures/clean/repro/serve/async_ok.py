@@ -1,0 +1,29 @@
+"""Clean async fixture: the sanctioned versions of the A-rule patterns.
+
+Awaitable sleeps, blocking work handed to the executor as a *reference*
+(never called on the loop), and a process pool carrying the
+``initializer=`` that resets inherited signal state.
+"""
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker_init() -> None:
+    pass
+
+
+def _load_snapshot(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+class Gateway:
+    async def handle(self, path: str) -> str:
+        await asyncio.sleep(0.1)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, _load_snapshot, path)
+
+    async def boot(self) -> None:
+        self.pool = ProcessPoolExecutor(max_workers=2,
+                                        initializer=_worker_init)

@@ -1,0 +1,18 @@
+"""Planted span-balance violations; tests/analyze asserts S001/S002.
+
+``unbalanced`` pops only on the fall-through path (an exception in
+``work()`` leaks the span); ``discarded`` throws the frame away.
+"""
+
+from repro.observability.trace import TRACER
+
+
+def unbalanced(work) -> None:
+    frame = TRACER.push("harness.unbalanced")
+    work()
+    TRACER.pop(frame)
+
+
+def discarded(work) -> None:
+    TRACER.push("harness.discarded")
+    work()

@@ -1,0 +1,28 @@
+"""Planted parity reference class; tests/analyze asserts P001/P002.
+
+Mirrors ``repro.machine.cache`` so the default ``engine-cache`` parity
+group resolves to this fixture pair when the planted tree is scanned.
+``bump`` keeps the cache counters incremented (C002 negative control).
+"""
+
+
+class CacheLevel:
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.flushed_dirty = 0
+
+    def bump(self) -> None:
+        self.hits += 1
+        self.misses += 1
+        self.evictions += 1
+        self.dirty_evictions += 1
+        self.flushed_dirty += 1
+
+    def lookup(self, line: int) -> bool:
+        return False
+
+    def access(self, line: int, is_write: bool) -> bool:
+        return False

@@ -1,0 +1,16 @@
+"""Planted parity drift; tests/analyze asserts P001 and P002.
+
+Relative to the fixture ``CacheLevel`` reference: ``access`` is missing
+entirely (P001) and ``lookup`` grew an extra required parameter (P002).
+"""
+
+
+class ColumnarCacheLevel:
+    def __init__(self) -> None:
+        self.hits = 0
+
+    def bump(self) -> None:
+        self.hits += 1
+
+    def lookup(self, line: int, way: int) -> bool:
+        return False

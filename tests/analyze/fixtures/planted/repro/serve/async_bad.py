@@ -1,0 +1,22 @@
+"""Planted async-safety violations; tests/analyze asserts A001/A002/A003.
+
+The path mirrors ``src/repro/serve`` so the module lands in the default
+``async-packages`` scope.
+"""
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _load_snapshot(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+class Gateway:
+    async def handle(self, path: str) -> str:
+        time.sleep(0.1)
+        return _load_snapshot(path)
+
+    async def boot(self) -> None:
+        self.pool = ProcessPoolExecutor(max_workers=2)

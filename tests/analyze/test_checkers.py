@@ -78,10 +78,77 @@ class TestPlantedViolations:
         assert "_sets" in finding.message
         assert finding.symbol == "Thief.poke"
 
+    def test_a001_blocking_call_in_async_def(self, planted_findings):
+        finding = _single(planted_findings, "A001")
+        assert finding.path.endswith("repro/serve/async_bad.py")
+        assert finding.line == 18
+        assert finding.symbol == "Gateway.handle"
+        assert finding.key == ("A001::repro.serve.async_bad::"
+                               "Gateway.handle:time.sleep")
+
+    def test_a002_transitive_blocking_reach(self, planted_findings):
+        finding = _single(planted_findings, "A002")
+        assert finding.path.endswith("repro/serve/async_bad.py")
+        assert finding.line == 19
+        assert "Gateway.handle -> _load_snapshot -> open" \
+            in finding.message
+        assert finding.key == ("A002::repro.serve.async_bad::"
+                               "Gateway.handle:_load_snapshot")
+
+    def test_a003_pool_without_initializer(self, planted_findings):
+        finding = _single(planted_findings, "A003")
+        assert finding.path.endswith("repro/serve/async_bad.py")
+        assert finding.line == 22
+        assert "initializer=" in finding.message
+        assert finding.key == (
+            "A003::repro.serve.async_bad::"
+            "Gateway.boot:concurrent.futures.ProcessPoolExecutor")
+
+    def test_s001_unbalanced_span(self, planted_findings):
+        finding = _single(planted_findings, "S001")
+        assert finding.path.endswith("repro/harness/spans_bad.py")
+        assert finding.line == 11
+        assert finding.symbol == "unbalanced"
+        assert finding.key == ("S001::repro.harness.spans_bad::"
+                               "unbalanced:harness.unbalanced")
+
+    def test_s002_discarded_frame(self, planted_findings):
+        finding = _single(planted_findings, "S002")
+        assert finding.path.endswith("repro/harness/spans_bad.py")
+        assert finding.line == 17
+        assert finding.symbol == "discarded"
+        assert finding.key == ("S002::repro.harness.spans_bad::"
+                               "discarded:harness.discarded")
+
+    def test_p001_missing_public_method(self, planted_findings):
+        finding = _single(planted_findings, "P001")
+        assert finding.path.endswith("repro/machine/colcache.py")
+        assert finding.line == 8  # the drifting class's def line
+        assert "'access'" in finding.message
+        assert finding.key == ("P001::repro.machine.colcache::"
+                               "ColumnarCacheLevel.access")
+
+    def test_p002_signature_drift(self, planted_findings):
+        finding = _single(planted_findings, "P002")
+        assert finding.path.endswith("repro/machine/colcache.py")
+        assert finding.line == 15  # the deviating method's def line
+        assert "2 required" in finding.message
+        assert "1 required" in finding.message
+        assert finding.key == ("P002::repro.machine.colcache::"
+                               "ColumnarCacheLevel.lookup")
+
+    def test_c002_counter_never_incremented(self, planted_findings):
+        finding = _single(planted_findings, "C002")
+        assert finding.path.endswith("repro/kernel/vm.py")
+        assert finding.line == 8  # the owning class's def line
+        assert "pages_migrated" in finding.message
+        assert finding.key == "C002::repro.kernel.vm::pages_migrated"
+
     def test_no_unexpected_rules(self, planted_findings):
         assert set(planted_findings) == {
             "L001", "L002", "D001", "D002", "D003", "D004",
-            "C001", "H001", "RC01",
+            "C001", "C002", "H001", "RC01",
+            "A001", "A002", "A003", "S001", "S002", "P001", "P002",
         }
 
 
@@ -114,3 +181,28 @@ class TestPolicyKnobs:
                              if site[1] != "Kernel.munmap"]
         findings = by_rule(run_lint(PLANTED, config=config))
         assert "H001" not in findings
+
+    def test_async_package_scope_silences_a_rules(self):
+        from repro.analyze import LintConfig
+        config = LintConfig()
+        config.async_packages = []
+        findings = by_rule(run_lint(PLANTED, config=config))
+        assert not {"A001", "A002", "A003"} & set(findings)
+
+    def test_parity_group_removal_silences_p_rules(self):
+        from repro.analyze import LintConfig
+        config = LintConfig()
+        config.parity_groups = {}
+        findings = by_rule(run_lint(PLANTED, config=config))
+        assert not {"P001", "P002"} & set(findings)
+
+    def test_c003_stale_allowlist_entry(self):
+        from repro.analyze import LintConfig
+        config = LintConfig()
+        config.counter_mutators.append("repro.kernel.vm::Kernel.ghost")
+        findings = by_rule(run_lint(PLANTED, config=config))
+        assert "C003" in findings
+        finding = findings["C003"][0]
+        assert finding.key == "C003::repro.kernel.vm::Kernel.ghost"
+        assert "counter-mutators" in finding.message
+        assert finding.path.endswith("repro/kernel/vm.py")

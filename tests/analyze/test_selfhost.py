@@ -67,6 +67,67 @@ class TestPolicyPin:
         assert loaded.hook_sites == default.hook_sites
         assert loaded.paths == default.paths
         assert loaded.baseline == default.baseline
+        assert list(loaded.async_packages) == list(default.async_packages)
+        assert loaded.parity_groups == default.parity_groups
+        assert list(loaded.test_paths) == list(default.test_paths)
+        assert list(loaded.test_select) == list(default.test_select)
+        assert list(loaded.exclude) == list(default.exclude)
+
+    def test_parity_groups_name_real_classes(self):
+        """Every parity-group member must resolve in the real tree —
+        a renamed engine class would otherwise drop out of the group
+        and silently lose parity enforcement (P-rules skip groups with
+        fewer than two resolved members).
+        """
+        from pathlib import Path
+
+        from repro.analyze.graph import build_project
+
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        analyzer = Analyzer(make_checkers(), config=config)
+        modules = []
+        for file in analyzer.collect([SRC]):
+            module, error = analyzer._parse(file)
+            assert error is None, error
+            modules.append(module)
+        project = build_project(modules, config)
+        for group, refs in config.parity_groups.items():
+            for ref in refs:
+                assert project.index.resolve_class(ref) is not None, \
+                    f"parity group '{group}' ref does not resolve: {ref}"
+
+    def test_deleting_an_engine_method_fails_lint(self, tmp_path):
+        """Acceptance proof for the parity rules: strip one public
+        method from the *real* ``CacheLevel`` and lint the pair — P001
+        must flag the drift.  This is the regression the P-rules exist
+        to catch: an engine change that silently narrows the shared
+        surface the registry promises.
+        """
+        import ast
+
+        source_path = SRC / "machine" / "cache.py"
+        lines = source_path.read_text().splitlines(keepends=True)
+        tree = ast.parse("".join(lines))
+        victim = None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == "CacheLevel":
+                victim = next(item for item in node.body
+                              if isinstance(item, ast.FunctionDef)
+                              and item.name == "access")
+        assert victim is not None
+        del lines[victim.lineno - 1:victim.end_lineno]
+
+        mirror = tmp_path / "repro" / "machine"
+        mirror.mkdir(parents=True)
+        (mirror / "cache.py").write_text("".join(lines))
+        (mirror / "colcache.py").write_text(
+            (SRC / "machine" / "colcache.py").read_text())
+
+        analyzer = Analyzer(make_checkers(), config=LintConfig())
+        report = analyzer.run([mirror / "cache.py",
+                               mirror / "colcache.py"])
+        keys = {f.key for f in report.findings if f.rule == "P001"}
+        assert "P001::repro.machine.cache::CacheLevel.access" in keys
 
     def test_hook_sites_name_real_functions(self):
         """Guard against config rot: every registered hook site must
